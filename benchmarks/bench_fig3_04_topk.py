@@ -1,0 +1,14 @@
+"""fig3.4: query time vs k (ranking cube vs rank mapping vs baseline).
+
+Regenerates the series of the paper's fig3.4 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_04_topk
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_04_topk(benchmark):
+    """Reproduce fig3.4: query time vs k (ranking cube vs rank mapping vs baseline)."""
+    run_experiment(benchmark, fig3_04_topk)

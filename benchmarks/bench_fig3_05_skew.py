@@ -1,0 +1,14 @@
+"""fig3.5: query time vs query skewness u.
+
+Regenerates the series of the paper's fig3.5 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_05_skewness
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_05_skew(benchmark):
+    """Reproduce fig3.5: query time vs query skewness u."""
+    run_experiment(benchmark, fig3_05_skewness)

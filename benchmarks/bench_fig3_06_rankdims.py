@@ -1,0 +1,14 @@
+"""fig3.6: query time vs dims in the ranking function.
+
+Regenerates the series of the paper's fig3.6 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_06_ranking_dims
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_06_rankdims(benchmark):
+    """Reproduce fig3.6: query time vs dims in the ranking function."""
+    run_experiment(benchmark, fig3_06_ranking_dims)

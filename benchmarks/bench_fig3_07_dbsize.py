@@ -1,0 +1,14 @@
+"""fig3.7: query time vs database size T.
+
+Regenerates the series of the paper's fig3.7 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_07_database_size
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_07_dbsize(benchmark):
+    """Reproduce fig3.7: query time vs database size T."""
+    run_experiment(benchmark, fig3_07_database_size)

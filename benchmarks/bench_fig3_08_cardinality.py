@@ -1,0 +1,14 @@
+"""fig3.8: query time vs selection cardinality C.
+
+Regenerates the series of the paper's fig3.8 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_08_cardinality
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_08_cardinality(benchmark):
+    """Reproduce fig3.8: query time vs selection cardinality C."""
+    run_experiment(benchmark, fig3_08_cardinality)

@@ -1,0 +1,14 @@
+"""fig3.9: query time vs number of selection conditions.
+
+Regenerates the series of the paper's fig3.9 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_09_selection_conditions
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_09_selections(benchmark):
+    """Reproduce fig3.9: query time vs number of selection conditions."""
+    run_experiment(benchmark, fig3_09_selection_conditions)

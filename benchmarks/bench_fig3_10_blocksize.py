@@ -1,0 +1,14 @@
+"""fig3.10: ranking-cube query time vs base block size.
+
+Regenerates the series of the paper's fig3.10 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_10_block_size
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_10_blocksize(benchmark):
+    """Reproduce fig3.10: ranking-cube query time vs base block size."""
+    run_experiment(benchmark, fig3_10_block_size)

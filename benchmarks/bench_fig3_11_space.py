@@ -1,0 +1,14 @@
+"""fig3.11: materialized space vs number of selection dimensions.
+
+Regenerates the series of the paper's fig3.11 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_11_space
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_11_space(benchmark):
+    """Reproduce fig3.11: materialized space vs number of selection dimensions."""
+    run_experiment(benchmark, fig3_11_space)

@@ -1,0 +1,14 @@
+"""fig3.12: query time vs number of covering fragments.
+
+Regenerates the series of the paper's fig3.12 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_12_covering_fragments
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_12_covering(benchmark):
+    """Reproduce fig3.12: query time vs number of covering fragments."""
+    run_experiment(benchmark, fig3_12_covering_fragments)

@@ -1,0 +1,14 @@
+"""fig3.13: query time vs fragment size F.
+
+Regenerates the series of the paper's fig3.13 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_13_fragment_size
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_13_fragsize(benchmark):
+    """Reproduce fig3.13: query time vs fragment size F."""
+    run_experiment(benchmark, fig3_13_fragment_size)

@@ -1,0 +1,14 @@
+"""fig3.14: query time vs number of selection dimensions S.
+
+Regenerates the series of the paper's fig3.14 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_14_selection_dims
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_14_highdim(benchmark):
+    """Reproduce fig3.14: query time vs number of selection dimensions S."""
+    run_experiment(benchmark, fig3_14_selection_dims)

@@ -1,0 +1,14 @@
+"""fig3.15: query time vs k on the CoverType-like surrogate.
+
+Regenerates the series of the paper's fig3.15 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch3 import fig3_15_real_data
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig3_15_real(benchmark):
+    """Reproduce fig3.15: query time vs k on the CoverType-like surrogate."""
+    run_experiment(benchmark, fig3_15_real_data)

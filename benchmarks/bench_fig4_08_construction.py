@@ -1,0 +1,14 @@
+"""fig4.8: signature-cube construction time vs T.
+
+Regenerates the series of the paper's fig4.8 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch4 import fig4_08_construction_time
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig4_08_construction(benchmark):
+    """Reproduce fig4.8: signature-cube construction time vs T."""
+    run_experiment(benchmark, fig4_08_construction_time)

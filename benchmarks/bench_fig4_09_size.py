@@ -1,0 +1,14 @@
+"""fig4.9: materialized sizes vs T.
+
+Regenerates the series of the paper's fig4.9 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch4 import fig4_09_materialized_size
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig4_09_size(benchmark):
+    """Reproduce fig4.9: materialized sizes vs T."""
+    run_experiment(benchmark, fig4_09_materialized_size)

@@ -1,0 +1,14 @@
+"""fig4.10: signature compression vs cardinality.
+
+Regenerates the series of the paper's fig4.10 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch4 import fig4_10_compression
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig4_10_compression(benchmark):
+    """Reproduce fig4.10: signature compression vs cardinality."""
+    run_experiment(benchmark, fig4_10_compression)

@@ -1,0 +1,14 @@
+"""fig4.11: incremental maintenance cost.
+
+Regenerates the series of the paper's fig4.11 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch4 import fig4_11_incremental_updates
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig4_11_updates(benchmark):
+    """Reproduce fig4.11: incremental maintenance cost."""
+    run_experiment(benchmark, fig4_11_incremental_updates)

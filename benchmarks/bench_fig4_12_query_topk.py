@@ -1,0 +1,14 @@
+"""fig4.12: query time vs k (Boolean / Ranking / Signature).
+
+Regenerates the series of the paper's fig4.12 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch4 import fig4_12_query_topk
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig4_12_query_topk(benchmark):
+    """Reproduce fig4.12: query time vs k (Boolean / Ranking / Signature)."""
+    run_experiment(benchmark, fig4_12_query_topk)

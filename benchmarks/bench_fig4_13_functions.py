@@ -1,0 +1,14 @@
+"""fig4.13: disk accesses per ranking-function type.
+
+Regenerates the series of the paper's fig4.13 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch4 import fig4_13_disk_by_function
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig4_13_functions(benchmark):
+    """Reproduce fig4.13: disk accesses per ranking-function type."""
+    run_experiment(benchmark, fig4_13_disk_by_function)

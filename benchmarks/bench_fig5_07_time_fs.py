@@ -1,0 +1,14 @@
+"""fig5.7: time vs K for the semi-monotone function fs.
+
+Regenerates the series of the paper's fig5.7 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_07_time_fs
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_07_time_fs(benchmark):
+    """Reproduce fig5.7: time vs K for the semi-monotone function fs."""
+    run_experiment(benchmark, fig5_07_time_fs)

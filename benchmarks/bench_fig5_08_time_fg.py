@@ -1,0 +1,14 @@
+"""fig5.8: time vs K for the general function fg.
+
+Regenerates the series of the paper's fig5.8 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_08_time_fg
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_08_time_fg(benchmark):
+    """Reproduce fig5.8: time vs K for the general function fg."""
+    run_experiment(benchmark, fig5_08_time_fg)

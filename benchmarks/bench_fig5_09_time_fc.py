@@ -1,0 +1,14 @@
+"""fig5.9: time vs K for the constrained function fc.
+
+Regenerates the series of the paper's fig5.9 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_09_time_fc
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_09_time_fc(benchmark):
+    """Reproduce fig5.9: time vs K for the constrained function fc."""
+    run_experiment(benchmark, fig5_09_time_fc)

@@ -1,0 +1,14 @@
+"""fig5.11: states generated per function at k=100.
+
+Regenerates the series of the paper's fig5.11 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_11_states_by_function
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_11_states(benchmark):
+    """Reproduce fig5.11: states generated per function at k=100."""
+    run_experiment(benchmark, fig5_11_states_by_function)

@@ -1,0 +1,14 @@
+"""fig5.12: peak heap size per function at k=100.
+
+Regenerates the series of the paper's fig5.12 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_12_heap_by_function
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_12_heap(benchmark):
+    """Reproduce fig5.12: peak heap size per function at k=100."""
+    run_experiment(benchmark, fig5_12_heap_by_function)

@@ -1,0 +1,14 @@
+"""fig5.13: time vs K on the CoverType-like surrogate.
+
+Regenerates the series of the paper's fig5.13 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_13_real_data
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_13_real(benchmark):
+    """Reproduce fig5.13: time vs K on the CoverType-like surrogate."""
+    run_experiment(benchmark, fig5_13_real_data)

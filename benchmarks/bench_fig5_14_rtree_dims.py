@@ -1,0 +1,14 @@
+"""fig5.14: time vs merged R-tree dimensionality.
+
+Regenerates the series of the paper's fig5.14 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_14_rtree_dimensionality
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_14_rtree_dims(benchmark):
+    """Reproduce fig5.14: time vs merged R-tree dimensionality."""
+    run_experiment(benchmark, fig5_14_rtree_dimensionality)

@@ -1,0 +1,14 @@
+"""fig5.15: 3-way merge: time vs K.
+
+Regenerates the series of the paper's fig5.15 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_15_three_way_time
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_15_threeway_time(benchmark):
+    """Reproduce fig5.15: 3-way merge: time vs K."""
+    run_experiment(benchmark, fig5_15_three_way_time)

@@ -1,0 +1,14 @@
+"""fig5.16: 3-way merge: peak heap vs K.
+
+Regenerates the series of the paper's fig5.16 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_16_three_way_heap
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_16_threeway_heap(benchmark):
+    """Reproduce fig5.16: 3-way merge: peak heap vs K."""
+    run_experiment(benchmark, fig5_16_three_way_heap)

@@ -1,0 +1,14 @@
+"""fig5.17: 3-way merge: disk accesses vs K.
+
+Regenerates the series of the paper's fig5.17 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_17_three_way_disk
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_17_threeway_disk(benchmark):
+    """Reproduce fig5.17: 3-way merge: disk accesses vs K."""
+    run_experiment(benchmark, fig5_17_three_way_disk)

@@ -1,0 +1,14 @@
+"""fig5.18: partial attributes in the ranking function.
+
+Regenerates the series of the paper's fig5.18 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_18_partial_attributes
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_18_partial(benchmark):
+    """Reproduce fig5.18: partial attributes in the ranking function."""
+    run_experiment(benchmark, fig5_18_partial_attributes)

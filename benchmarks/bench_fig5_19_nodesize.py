@@ -1,0 +1,14 @@
+"""fig5.19: time vs index node fanout.
+
+Regenerates the series of the paper's fig5.19 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_19_node_size
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_19_nodesize(benchmark):
+    """Reproduce fig5.19: time vs index node fanout."""
+    run_experiment(benchmark, fig5_19_node_size)

@@ -1,0 +1,14 @@
+"""fig5.20: time vs database size T.
+
+Regenerates the series of the paper's fig5.20 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_20_database_size
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_20_dbsize(benchmark):
+    """Reproduce fig5.20: time vs database size T."""
+    run_experiment(benchmark, fig5_20_database_size)

@@ -1,0 +1,14 @@
+"""fig5.21-22: join-signature construction time and size vs T.
+
+Regenerates the series of the paper's fig5.21-22 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import fig5_21_22_join_signature_build
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig5_21_22_jsig_build(benchmark):
+    """Reproduce fig5.21-22: join-signature construction time and size vs T."""
+    run_experiment(benchmark, fig5_21_22_join_signature_build)

@@ -1,0 +1,14 @@
+"""fig6.3: rank join vs join-then-sort, by join cardinality.
+
+Regenerates the series of the paper's fig6.3 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch6 import fig6_03_cardinality
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig6_03_cardinality(benchmark):
+    """Reproduce fig6.3: rank join vs join-then-sort, by join cardinality."""
+    run_experiment(benchmark, fig6_03_cardinality)

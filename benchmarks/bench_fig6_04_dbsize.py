@@ -1,0 +1,14 @@
+"""fig6.4: rank join vs join-then-sort, by relation size.
+
+Regenerates the series of the paper's fig6.4 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch6 import fig6_04_database_size
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig6_04_dbsize(benchmark):
+    """Reproduce fig6.4: rank join vs join-then-sort, by relation size."""
+    run_experiment(benchmark, fig6_04_database_size)

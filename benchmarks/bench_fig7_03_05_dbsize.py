@@ -1,0 +1,14 @@
+"""fig7.3-5: skyline time / disk / heap vs T.
+
+Regenerates the series of the paper's fig7.3-5 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_03_05_database_size
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_03_05_dbsize(benchmark):
+    """Reproduce fig7.3-5: skyline time / disk / heap vs T."""
+    run_experiment(benchmark, fig7_03_05_database_size)

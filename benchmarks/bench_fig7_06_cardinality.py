@@ -1,0 +1,14 @@
+"""fig7.6: skyline time vs boolean cardinality.
+
+Regenerates the series of the paper's fig7.6 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_06_cardinality
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_06_cardinality(benchmark):
+    """Reproduce fig7.6: skyline time vs boolean cardinality."""
+    run_experiment(benchmark, fig7_06_cardinality)

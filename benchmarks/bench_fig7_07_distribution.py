@@ -1,0 +1,14 @@
+"""fig7.7: skyline time vs data distribution.
+
+Regenerates the series of the paper's fig7.7 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_07_distribution
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_07_distribution(benchmark):
+    """Reproduce fig7.7: skyline time vs data distribution."""
+    run_experiment(benchmark, fig7_07_distribution)

@@ -1,0 +1,14 @@
+"""fig7.8: skyline time vs preference dimensionality.
+
+Regenerates the series of the paper's fig7.8 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_08_preference_dims
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_08_prefdims(benchmark):
+    """Reproduce fig7.8: skyline time vs preference dimensionality."""
+    run_experiment(benchmark, fig7_08_preference_dims)

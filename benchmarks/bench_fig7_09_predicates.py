@@ -1,0 +1,14 @@
+"""fig7.9: skyline time vs number of boolean predicates.
+
+Regenerates the series of the paper's fig7.9 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_09_boolean_predicates
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_09_predicates(benchmark):
+    """Reproduce fig7.9: skyline time vs number of boolean predicates."""
+    run_experiment(benchmark, fig7_09_boolean_predicates)

@@ -1,0 +1,14 @@
+"""fig7.10: skyline time vs query hardness.
+
+Regenerates the series of the paper's fig7.10 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_10_hardness
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_10_hardness(benchmark):
+    """Reproduce fig7.10: skyline time vs query hardness."""
+    run_experiment(benchmark, fig7_10_hardness)

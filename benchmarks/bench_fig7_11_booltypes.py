@@ -1,0 +1,14 @@
+"""fig7.11: static vs dynamic skylines.
+
+Regenerates the series of the paper's fig7.11 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_11_predicate_types
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_11_booltypes(benchmark):
+    """Reproduce fig7.11: static vs dynamic skylines."""
+    run_experiment(benchmark, fig7_11_predicate_types)

@@ -1,0 +1,14 @@
+"""fig7.12: signature loading vs total query cost.
+
+Regenerates the series of the paper's fig7.12 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_12_breakdown
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_12_breakdown(benchmark):
+    """Reproduce fig7.12: signature loading vs total query cost."""
+    run_experiment(benchmark, fig7_12_breakdown)

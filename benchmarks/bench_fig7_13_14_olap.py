@@ -1,0 +1,14 @@
+"""fig7.13-14: drill-down / roll-up vs fresh queries.
+
+Regenerates the series of the paper's fig7.13-14 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch7 import fig7_13_14_olap_navigation
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_fig7_13_14_olap(benchmark):
+    """Reproduce fig7.13-14: drill-down / roll-up vs fresh queries."""
+    run_experiment(benchmark, fig7_13_14_olap_navigation)

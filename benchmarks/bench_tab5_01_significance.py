@@ -1,0 +1,14 @@
+"""tab5.1: basic vs improved index merge (states, disk).
+
+Regenerates the series of the paper's tab5.1 using the scaled-down default
+workload (set ``REPRO_BENCH_SCALE=paper`` for paper-scale sizes).
+"""
+
+from repro.bench.ch5 import tab5_01_significance
+
+from repro.bench.pytest_util import run_experiment
+
+
+def test_tab5_01_significance(benchmark):
+    """Reproduce tab5.1: basic vs improved index merge (states, disk)."""
+    run_experiment(benchmark, tab5_01_significance)

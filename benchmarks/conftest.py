@@ -1,0 +1,6 @@
+"""Make the src layout importable when running the benchmarks directly."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))

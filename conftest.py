@@ -1,0 +1,11 @@
+"""Make the ``src`` layout importable without installation.
+
+The offline environment has no ``wheel`` package, so ``pip install -e .``
+cannot build editable metadata; adding ``src`` to ``sys.path`` here keeps
+``pytest tests/`` and ``pytest benchmarks/`` runnable either way.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,50 @@
+"""repro — a full reproduction of the Ranking-Cube methodology (ICDE 2007).
+
+The package integrates OLAP-style multi-dimensional selections with ad-hoc
+top-k ranking through semi off-line materialization and semi on-line
+computation, following Dong Xin's thesis "Integrating OLAP and Ranking: The
+Ranking-Cube Methodology".
+
+Sub-packages
+------------
+``repro.storage``
+    Simulated paged storage, buffer pool, relations, B+-tree, R-tree and
+    selection (inverted) indexes.
+``repro.functions``
+    Ranking functions with box lower bounds (linear, distance, expression).
+``repro.partition``
+    Equi-depth / equi-width grid partitioning with pseudo blocks.
+``repro.cube``
+    Chapter 3: the grid ranking cube and ranking fragments.
+``repro.signature``
+    Chapter 4: signature measures, compression, the signature ranking cube,
+    incremental maintenance and branch-and-bound query processing.
+``repro.indexmerge``
+    Chapter 5: progressive and selective merging of hierarchical indexes.
+``repro.joins``
+    Chapter 6: SPJR (select-project-join-rank) queries over multiple relations.
+``repro.skyline``
+    Chapter 7: skyline and dynamic-skyline queries with boolean predicates.
+``repro.baselines``
+    The comparison methods of the evaluation (table scan, boolean-first,
+    ranking-first, rank mapping, threshold algorithm).
+``repro.workloads``
+    Synthetic data / query generators and the CoverType-like surrogate.
+``repro.bench``
+    The experiment harness regenerating every figure and table.
+"""
+
+from repro.query import Predicate, QueryResult, SkylineQuery, TopKQuery
+from repro.storage.table import Relation, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Predicate",
+    "QueryResult",
+    "SkylineQuery",
+    "TopKQuery",
+    "Relation",
+    "Schema",
+    "__version__",
+]

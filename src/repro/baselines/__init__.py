@@ -1,0 +1,21 @@
+"""Baseline query-processing methods used throughout the evaluation."""
+
+from repro.baselines.boolean_first import BooleanFirstTopK
+from repro.baselines.rank_mapping import RankMappingTopK, optimal_range_bounds
+from repro.baselines.ranking_first import RankingFirstTopK
+from repro.baselines.table_scan import TableScanTopK, table_pages
+from repro.baselines.threshold_algorithm import (
+    ThresholdAlgorithmTopK,
+    build_dimension_trees,
+)
+
+__all__ = [
+    "BooleanFirstTopK",
+    "RankMappingTopK",
+    "optimal_range_bounds",
+    "RankingFirstTopK",
+    "TableScanTopK",
+    "table_pages",
+    "ThresholdAlgorithmTopK",
+    "build_dimension_trees",
+]

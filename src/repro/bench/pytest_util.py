@@ -1,0 +1,20 @@
+"""Glue between the experiment functions and pytest-benchmark targets."""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+
+
+def run_experiment(benchmark, experiment) -> ExperimentResult:
+    """Run one experiment under pytest-benchmark and print its series table.
+
+    Each figure is regenerated exactly once per run (``rounds=1``): the
+    experiment itself already averages over a small query workload, and the
+    interesting output is the per-method series table, not the timer
+    statistics.
+    """
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(result.format_table())
+    assert result.rows, "the experiment produced no rows"
+    return result

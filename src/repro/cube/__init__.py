@@ -1,0 +1,33 @@
+"""Chapter 3: the grid ranking cube and ranking fragments."""
+
+from repro.cube.blocktable import BaseBlockTable
+from repro.cube.model import Cuboid
+from repro.cube.providers import (
+    CellProvider,
+    CuboidCellProvider,
+    IntersectionCellProvider,
+    UnfilteredCellProvider,
+)
+from repro.cube.query import GridTopKExecutor, TopKAccumulator, find_start_block
+from repro.cube.ranking_cube import (
+    RankingCube,
+    all_nonempty_subsets,
+    build_ranking_fragments,
+    fragment_groups,
+)
+
+__all__ = [
+    "BaseBlockTable",
+    "Cuboid",
+    "CellProvider",
+    "CuboidCellProvider",
+    "IntersectionCellProvider",
+    "UnfilteredCellProvider",
+    "GridTopKExecutor",
+    "TopKAccumulator",
+    "find_start_block",
+    "RankingCube",
+    "all_nonempty_subsets",
+    "build_ranking_fragments",
+    "fragment_groups",
+]

@@ -1,0 +1,93 @@
+"""Base block table: ranking values grouped by base block (Section 3.2.2).
+
+After the geometry partition, the original relation is decomposed into a
+*selection table* (selection dims + block dimension ``B``, which feeds the
+ranking cube) and a *base block table* holding, per base block, the tids and
+their real ranking values.  The query algorithm's ``get_base_block`` data
+access method (Section 3.3.1) reads one of these pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CubeError
+from repro.partition.grid import GridPartition
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.table import Relation
+
+
+class BaseBlockTable:
+    """Per-base-block pages of ``(tid, ranking values)`` entries."""
+
+    def __init__(self, relation: Relation, grid: GridPartition,
+                 bids: Optional[np.ndarray] = None, pager: Optional[Pager] = None,
+                 buffer_capacity: int = 256) -> None:
+        self.relation = relation
+        self.grid = grid
+        self.dims: Tuple[str, ...] = grid.dims
+        self.pager = pager or Pager()
+        self.buffer = BufferPool(self.pager, capacity=buffer_capacity)
+        if bids is None:
+            bids = grid.assign(relation)
+        bids = np.asarray(bids, dtype=np.int64)
+        if bids.shape[0] != relation.num_tuples:
+            raise CubeError("bids must assign a block to every tuple")
+        self.bids = bids
+        self._block_pages: Dict[int, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        values = self.relation.ranking_values_bulk(
+            np.arange(self.relation.num_tuples), self.dims)
+        order = np.argsort(self.bids, kind="stable")
+        sorted_bids = self.bids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_bids)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_bids)]))
+        for start, end in zip(starts, ends):
+            if start == end:
+                continue
+            bid = int(sorted_bids[start])
+            tids = order[start:end]
+            payload = [
+                (int(tid), tuple(values[tid].tolist())) for tid in tids
+            ]
+            self._block_pages[bid] = self.pager.allocate(payload)
+
+    # ------------------------------------------------------------------
+    # data access methods
+    # ------------------------------------------------------------------
+    def get_base_block(self, bid: int) -> List[Tuple[int, Tuple[float, ...]]]:
+        """``get_base_block``: tids and ranking values of one base block.
+
+        Reads one page through the buffer pool (counts a disk access on a
+        miss); an unknown / empty block returns an empty list for free.
+        """
+        page_id = self._block_pages.get(int(bid))
+        if page_id is None:
+            return []
+        return self.buffer.read(page_id)
+
+    def block_values(self, bid: int) -> Dict[int, Tuple[float, ...]]:
+        """The same block as a ``{tid: values}`` dict."""
+        return {tid: vals for tid, vals in self.get_base_block(bid)}
+
+    def bid_of_tid(self, tid: int) -> int:
+        """Base block that tuple ``tid`` was assigned to."""
+        return int(self.bids[tid])
+
+    def non_empty_bids(self) -> List[int]:
+        """Base blocks that actually contain tuples."""
+        return sorted(self._block_pages)
+
+    def num_blocks(self) -> int:
+        """Number of non-empty base blocks."""
+        return len(self._block_pages)
+
+    def size_in_bytes(self) -> int:
+        """Estimated materialized size of the base block table."""
+        return self.pager.total_bytes()

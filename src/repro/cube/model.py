@@ -1,0 +1,90 @@
+"""Cuboid storage for the grid ranking cube (Section 3.2.3).
+
+A *cuboid* is named by its selection dimensions (e.g. ``A1A2_N1N2``) and
+stores, for every (cell, pseudo block) combination, the list of
+``(tid, bid)`` pairs of tuples that fall in that cell and pseudo block.
+Each such list occupies one page, mirroring the thesis' clustered index on
+``(selection dims, pid)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CubeError
+from repro.partition.grid import GridPartition
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.table import Relation
+
+CellKey = Tuple[int, ...]
+
+
+class Cuboid:
+    """One materialized cuboid of the ranking cube."""
+
+    def __init__(self, dims: Sequence[str], relation: Relation, grid: GridPartition,
+                 bids: np.ndarray, pager: Pager, buffer_capacity: int = 256) -> None:
+        self.dims: Tuple[str, ...] = tuple(dims)
+        if not self.dims:
+            raise CubeError("a cuboid needs at least one selection dimension")
+        self.grid = grid
+        self.pager = pager
+        self.buffer = BufferPool(pager, capacity=buffer_capacity)
+        cardinalities = [relation.cardinality(d) for d in self.dims]
+        self.scale_factor = grid.scale_factor(cardinalities)
+        self._pages: Dict[Tuple[CellKey, int], int] = {}
+        self._build(relation, bids)
+
+    @property
+    def name(self) -> str:
+        """Cuboid name in the thesis' ``A1A2_N1N2`` convention."""
+        return "".join(self.dims) + "_" + "".join(self.grid.dims)
+
+    def _build(self, relation: Relation, bids: np.ndarray) -> None:
+        columns = [relation.selection_column(d) for d in self.dims]
+        pids = np.array(
+            [self.grid.pid_of_bid(int(bid), self.scale_factor) for bid in bids],
+            dtype=np.int64,
+        )
+        groups: Dict[Tuple[CellKey, int], List[Tuple[int, int]]] = {}
+        for tid in range(relation.num_tuples):
+            cell: CellKey = tuple(int(col[tid]) for col in columns)
+            key = (cell, int(pids[tid]))
+            groups.setdefault(key, []).append((tid, int(bids[tid])))
+        for key, entries in groups.items():
+            self._pages[key] = self.pager.allocate(entries)
+
+    # ------------------------------------------------------------------
+    # data access method: get_pseudo_block (Section 3.3.1)
+    # ------------------------------------------------------------------
+    def get_pseudo_block(self, cell: CellKey, pid: int) -> List[Tuple[int, int]]:
+        """``(tid, bid)`` list of one (cell, pseudo block), one page read."""
+        page_id = self._pages.get((tuple(cell), int(pid)))
+        if page_id is None:
+            return []
+        return self.buffer.read(page_id)
+
+    def cell_of_predicate(self, conditions: Mapping[str, int]) -> CellKey:
+        """Cell key for a predicate that constrains every cuboid dimension."""
+        missing = [d for d in self.dims if d not in conditions]
+        if missing:
+            raise CubeError(
+                f"cuboid {self.name} needs values for dimensions {missing}")
+        return tuple(int(conditions[d]) for d in self.dims)
+
+    def num_cells(self) -> int:
+        """Number of materialized (cell, pseudo block) pages."""
+        return len(self._pages)
+
+    def size_in_bytes(self) -> int:
+        """Estimated size of this cuboid's pages."""
+        total = 0
+        for page_id in self._pages.values():
+            total += len(self.pager.read(page_id, physical=False)) * 16
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cuboid({self.name}, sf={self.scale_factor}, pages={len(self._pages)})"

@@ -1,0 +1,84 @@
+"""Cell providers: where the query algorithm gets qualifying tids per block.
+
+The retrieve step of the query algorithm (Section 3.3.2) asks a cuboid for
+the tid list of a base block's pseudo block, buffering pseudo blocks already
+fetched.  When a query is answered by several ranking fragments (Section
+3.4.2), the per-fragment tid lists for the same block are intersected.  Both
+behaviours implement the same small interface so the executor does not care
+which one it talks to.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.cube.blocktable import BaseBlockTable
+from repro.cube.model import CellKey, Cuboid
+
+
+class CellProvider(ABC):
+    """Supplies, per base block, the tids that satisfy the boolean predicate."""
+
+    @abstractmethod
+    def tids_in_block(self, bid: int) -> List[int]:
+        """Tids in base block ``bid`` that satisfy the provider's predicate."""
+
+    def reset(self) -> None:
+        """Drop any per-query buffering (called between queries)."""
+
+
+class CuboidCellProvider(CellProvider):
+    """Reads one cuboid cell, pseudo block by pseudo block, with buffering."""
+
+    def __init__(self, cuboid: Cuboid, cell: CellKey) -> None:
+        self.cuboid = cuboid
+        self.cell = tuple(cell)
+        self._fetched_pids: Dict[int, Dict[int, List[int]]] = {}
+
+    def tids_in_block(self, bid: int) -> List[int]:
+        pid = self.cuboid.grid.pid_of_bid(bid, self.cuboid.scale_factor)
+        if pid not in self._fetched_pids:
+            entries = self.cuboid.get_pseudo_block(self.cell, pid)
+            by_bid: Dict[int, List[int]] = {}
+            for tid, entry_bid in entries:
+                by_bid.setdefault(entry_bid, []).append(tid)
+            self._fetched_pids[pid] = by_bid
+        return self._fetched_pids[pid].get(bid, [])
+
+    def reset(self) -> None:
+        self._fetched_pids.clear()
+
+
+class IntersectionCellProvider(CellProvider):
+    """Intersects the tid lists of several providers (ranking fragments)."""
+
+    def __init__(self, providers: Sequence[CellProvider]) -> None:
+        if not providers:
+            raise ValueError("at least one provider is required")
+        self.providers = list(providers)
+
+    def tids_in_block(self, bid: int) -> List[int]:
+        result: Set[int] = set(self.providers[0].tids_in_block(bid))
+        for provider in self.providers[1:]:
+            if not result:
+                break
+            result &= set(provider.tids_in_block(bid))
+        return sorted(result)
+
+    def reset(self) -> None:
+        for provider in self.providers:
+            provider.reset()
+
+
+class UnfilteredCellProvider(CellProvider):
+    """Provider for the empty predicate: every tuple of the block qualifies."""
+
+    def __init__(self, block_table: BaseBlockTable) -> None:
+        self.block_table = block_table
+
+    def tids_in_block(self, bid: int) -> List[int]:
+        return [tid for tid, _ in self.block_table.get_base_block(bid)]
+
+    def reset(self) -> None:
+        pass

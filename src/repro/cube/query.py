@@ -1,0 +1,165 @@
+"""Grid ranking-cube query algorithm: neighborhood search (Section 3.3).
+
+The executor follows the four steps of the thesis — pre-process, search,
+retrieve, evaluate — and the expansion rule of Lemma 1: starting from the
+base block that contains the ranking function's minimizer, candidate blocks
+are explored in increasing order of their lower-bound score, each expansion
+adding the block's grid neighbors to the frontier.  The search halts once
+the current k-th best seen score is no worse than the best possible score of
+any unexplored block (``S_k <= S_unseen``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cube.blocktable import BaseBlockTable
+from repro.cube.providers import CellProvider
+from repro.errors import QueryError
+from repro.functions.base import RankingFunction
+from repro.partition.grid import GridPartition
+from repro.query import QueryResult
+
+
+class TopKAccumulator:
+    """Bounded max-heap tracking the best (smallest-score) k tuples seen."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise QueryError("k must be positive")
+        self.k = k
+        self._heap: List[Tuple[float, int]] = []  # (-score, tid)
+
+    def offer(self, tid: int, score: float) -> None:
+        """Consider one scored tuple."""
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-score, tid))
+        elif score < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-score, tid))
+
+    @property
+    def kth_score(self) -> float:
+        """Current k-th best score (``+inf`` until k tuples have been seen)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def is_full(self) -> bool:
+        """Whether k tuples have been collected."""
+        return len(self._heap) >= self.k
+
+    def ranked(self) -> List[Tuple[int, float]]:
+        """``(tid, score)`` pairs in ascending score order."""
+        return sorted(((tid, -neg) for neg, tid in self._heap), key=lambda p: (p[1], p[0]))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def find_start_block(grid: GridPartition, function: RankingFunction) -> int:
+    """Base block containing the function's minimizer over the grid domain.
+
+    Semi-monotone functions report their minimum point directly; for other
+    (convex) functions the minimizing domain corner is used, which is exact
+    for linear functions and a sound starting point in general.
+    """
+    domain = grid.domain()
+    minimum = function.minimum_point()
+    if minimum is not None:
+        clamped = {
+            dim: domain.interval(dim).clamp(minimum.get(dim, domain.interval(dim).low))
+            for dim in grid.dims
+        }
+        return grid.bid_of_point(clamped)
+    best_corner, best_score = None, float("inf")
+    for corner in domain.project(function.dims).corners():
+        score = function.evaluate_mapping(corner)
+        if score < best_score:
+            best_corner, best_score = corner, score
+    if best_corner is None:
+        return 0
+    point = {dim: best_corner.get(dim, domain.interval(dim).low) for dim in grid.dims}
+    return grid.bid_of_point(point)
+
+
+class GridTopKExecutor:
+    """Runs one top-k query against a grid ranking cube."""
+
+    def __init__(self, grid: GridPartition, block_table: BaseBlockTable) -> None:
+        self.grid = grid
+        self.block_table = block_table
+
+    def execute(self, provider: CellProvider, function: RankingFunction, k: int,
+                ) -> QueryResult:
+        """Execute the neighborhood-search algorithm of Section 3.3.2."""
+        for dim in function.dims:
+            if dim not in self.grid.dims:
+                raise QueryError(
+                    f"ranking dimension {dim!r} is not covered by the grid partition")
+        start_time = time.perf_counter()
+        provider.reset()
+        pagers = {
+            id(self.block_table.pager): self.block_table.pager,
+        }
+        cuboid_pagers = getattr(provider, "providers", [provider])
+        for sub in cuboid_pagers:
+            cuboid = getattr(sub, "cuboid", None)
+            if cuboid is not None:
+                pagers[id(cuboid.pager)] = cuboid.pager
+        io_before = {key: p.stats.physical_reads for key, p in pagers.items()}
+
+        topk = TopKAccumulator(k)
+        start_bid = find_start_block(self.grid, function)
+        frontier: List[Tuple[float, int]] = []
+        inserted: Set[int] = set()
+        blocks_examined = 0
+        peak_frontier = 0
+        tuples_evaluated = 0
+
+        heapq.heappush(
+            frontier, (function.lower_bound(self.grid.block_box(start_bid)), start_bid))
+        inserted.add(start_bid)
+
+        while frontier:
+            peak_frontier = max(peak_frontier, len(frontier))
+            unseen_score, bid = frontier[0]
+            if topk.is_full() and topk.kth_score <= unseen_score:
+                break
+            heapq.heappop(frontier)
+            blocks_examined += 1
+
+            tids = provider.tids_in_block(bid)
+            if tids:
+                values = self.block_table.block_values(bid)
+                dim_index = [self.grid.dims.index(d) for d in function.dims]
+                for tid in tids:
+                    point = values.get(tid)
+                    if point is None:
+                        continue
+                    score = function.evaluate([point[i] for i in dim_index])
+                    topk.offer(tid, score)
+                    tuples_evaluated += 1
+
+            for neighbor in self.grid.neighbors(bid):
+                if neighbor in inserted:
+                    continue
+                inserted.add(neighbor)
+                bound = function.lower_bound(self.grid.block_box(neighbor))
+                heapq.heappush(frontier, (bound, neighbor))
+
+        elapsed = time.perf_counter() - start_time
+        disk = sum(
+            p.stats.physical_reads - io_before[key] for key, p in pagers.items()
+        )
+        ranked = topk.ranked()
+        return QueryResult(
+            tids=tuple(tid for tid, _ in ranked),
+            scores=tuple(score for _, score in ranked),
+            disk_accesses=disk,
+            states_generated=blocks_examined,
+            peak_heap_size=peak_frontier,
+            tuples_evaluated=tuples_evaluated,
+            elapsed_seconds=elapsed,
+        )

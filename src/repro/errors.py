@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ranking-cube library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors carry enough context to be actionable —
+the offending dimension name, page id, or query fragment.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is inconsistent or a referenced column is unknown."""
+
+
+class QueryError(ReproError):
+    """A query references unknown dimensions or is otherwise malformed."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (unknown page, corrupted node, ...)."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that was never allocated or was freed."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"page {page_id} does not exist")
+        self.page_id = page_id
+
+
+class IndexError_(ReproError):
+    """An index structure was used inconsistently (duplicate build, etc.)."""
+
+
+class CubeError(ReproError):
+    """Ranking-cube construction or lookup failure."""
+
+
+class SignatureError(ReproError):
+    """Signature encoding/decoding or assembly failure."""
+
+
+class EncodingError(SignatureError):
+    """A signature node could not be encoded or decoded."""
+
+
+class MaintenanceError(ReproError):
+    """Incremental maintenance was asked to do something impossible."""
+
+
+class OptimizerError(ReproError):
+    """The SPJR query optimizer could not produce a plan."""

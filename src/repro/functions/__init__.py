@@ -1,0 +1,55 @@
+"""Ranking functions with box lower bounds.
+
+Public surface:
+
+* :class:`RankingFunction`, :class:`FunctionShape` — the interface every
+  search algorithm uses.
+* :class:`LinearFunction`, :func:`sum_function`, :func:`skewed_linear_function`
+* :class:`SquaredDistanceFunction`, :class:`ManhattanDistanceFunction`
+* Expression trees (:class:`Var`, :class:`Const`, operators) and
+  :class:`ExpressionFunction` / :class:`ConstrainedFunction` for ad-hoc
+  non-convex functions.
+"""
+
+from repro.functions.base import FunctionShape, FunctionWithShape, RankingFunction
+from repro.functions.distance import ManhattanDistanceFunction, SquaredDistanceFunction
+from repro.functions.expression import (
+    Abs,
+    Add,
+    Const,
+    ConstrainedFunction,
+    Expr,
+    ExpressionFunction,
+    Mul,
+    Pow,
+    Sub,
+    Var,
+)
+from repro.functions.linear import (
+    LinearFunction,
+    WeightedAverageFunction,
+    skewed_linear_function,
+    sum_function,
+)
+
+__all__ = [
+    "FunctionShape",
+    "FunctionWithShape",
+    "RankingFunction",
+    "LinearFunction",
+    "WeightedAverageFunction",
+    "sum_function",
+    "skewed_linear_function",
+    "SquaredDistanceFunction",
+    "ManhattanDistanceFunction",
+    "Expr",
+    "Var",
+    "Const",
+    "Add",
+    "Sub",
+    "Mul",
+    "Pow",
+    "Abs",
+    "ExpressionFunction",
+    "ConstrainedFunction",
+]

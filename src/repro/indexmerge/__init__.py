@@ -1,0 +1,42 @@
+"""Chapter 5: merging hierarchical indexes for high ranking dimensions."""
+
+from repro.indexmerge.bloom import BloomFilter
+from repro.indexmerge.engine import (
+    MODE_BASELINE,
+    MODE_PROGRESSIVE,
+    MODE_SELECTIVE,
+    MODES,
+    IndexMergeTopK,
+)
+from repro.indexmerge.expansion import (
+    FullExpander,
+    NeighborhoodExpander,
+    StateExpander,
+    ThresholdExpander,
+    choose_expander,
+)
+from repro.indexmerge.join_signature import (
+    JoinSignature,
+    JoinSignatureSet,
+    JoinSignatureStats,
+)
+from repro.indexmerge.state import JointState, MergeContext
+
+__all__ = [
+    "BloomFilter",
+    "MODE_BASELINE",
+    "MODE_PROGRESSIVE",
+    "MODE_SELECTIVE",
+    "MODES",
+    "IndexMergeTopK",
+    "FullExpander",
+    "NeighborhoodExpander",
+    "StateExpander",
+    "ThresholdExpander",
+    "choose_expander",
+    "JoinSignature",
+    "JoinSignatureSet",
+    "JoinSignatureStats",
+    "JointState",
+    "MergeContext",
+]

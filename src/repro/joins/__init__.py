@@ -1,0 +1,27 @@
+"""Chapter 6: SPJR (select-project-join-rank) queries over multiple relations."""
+
+from repro.joins.executor import RankJoinExecutor
+from repro.joins.optimizer import JoinPlan, RelationPlan, SPJROptimizer
+from repro.joins.query_model import (
+    JoinCondition,
+    JoinResult,
+    RelationTerm,
+    SPJRQuery,
+)
+from repro.joins.rank_stream import RankStream, StreamEntry
+from repro.joins.system import BooleanStream, RankingCubeJoinSystem
+
+__all__ = [
+    "RankJoinExecutor",
+    "JoinPlan",
+    "RelationPlan",
+    "SPJROptimizer",
+    "JoinCondition",
+    "JoinResult",
+    "RelationTerm",
+    "SPJRQuery",
+    "RankStream",
+    "StreamEntry",
+    "BooleanStream",
+    "RankingCubeJoinSystem",
+]

@@ -1,0 +1,86 @@
+"""The ranking-cube join system (Figure 6.1): cubes + optimizer + executor.
+
+One :class:`SignatureRankingCube` is built per registered relation; an SPJR
+query is planned by the optimizer and executed by the rank-join executor
+pulling from per-relation rank streams (or boolean-filtered streams when the
+optimizer decides the predicate is selective enough).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.joins.executor import RankJoinExecutor
+from repro.joins.optimizer import JoinPlan, SPJROptimizer
+from repro.joins.query_model import JoinResult, RelationTerm, SPJRQuery
+from repro.joins.rank_stream import RankStream, StreamEntry
+from repro.query import QueryResult
+from repro.signature.cube import SignatureRankingCube
+from repro.storage.table import Relation
+
+
+class BooleanStream(RankStream):
+    """Stream for boolean-access relations: filter first, then sort by score."""
+
+    def __init__(self, cube: SignatureRankingCube, predicate, function) -> None:
+        super().__init__(cube, predicate, function)
+
+    def _generate(self) -> Iterator[StreamEntry]:
+        relation = self.relation
+        tids = relation.tids_matching(self.predicate.as_dict)
+        scored = [
+            (self.function.evaluate_tuple(relation, int(tid)), int(tid)) for tid in tids
+        ]
+        scored.sort()
+        for score, tid in scored:
+            self.pulled += 1
+            yield StreamEntry(tid=tid, score=float(score))
+
+
+class RankingCubeJoinSystem:
+    """End-to-end SPJR processing over ranking cubes."""
+
+    def __init__(self, relations: Sequence[Relation],
+                 rtree_max_entries: int = 32) -> None:
+        self.relations: Dict[str, Relation] = {}
+        self.cubes: Dict[str, SignatureRankingCube] = {}
+        for relation in relations:
+            if relation.name in self.relations:
+                raise QueryError(f"duplicate relation name {relation.name!r}")
+            self.relations[relation.name] = relation
+            self.cubes[relation.name] = SignatureRankingCube(
+                relation, rtree_max_entries=rtree_max_entries)
+        self.optimizer = SPJROptimizer()
+
+    def plan(self, query: SPJRQuery) -> JoinPlan:
+        """Expose the optimizer's plan (used by the tests and examples)."""
+        return self.optimizer.plan(query)
+
+    def query(self, query: SPJRQuery) -> QueryResult:
+        """Plan and execute an SPJR query."""
+        query.validate()
+        plan = self.optimizer.plan(query)
+        streams: Dict[str, RankStream] = {}
+        for term in query.terms:
+            name = term.relation.name
+            cube = self.cubes.get(name)
+            if cube is None:
+                raise QueryError(f"relation {name!r} is not registered with the system")
+            relation_plan = plan.plan_for(name)
+            if relation_plan.access == "rank":
+                streams[name] = RankStream(cube, term.predicate, term.function)
+            else:
+                streams[name] = BooleanStream(cube, term.predicate, term.function)
+        executor = RankJoinExecutor(query, streams, order=plan.order)
+        result = executor.execute()
+        result.extra["plan_order"] = float(len(plan.order))
+        self.last_detailed: List[JoinResult] = executor.last_results
+        return result
+
+    def query_detailed(self, query: SPJRQuery) -> List[JoinResult]:
+        """Execute and return full per-relation tid mappings."""
+        self.query(query)
+        return list(self.last_detailed)

@@ -1,0 +1,18 @@
+"""Geometry-based data partitioning (Section 3.2.2).
+
+The grid partition assigns every tuple to a *base block* according to its
+ranking-dimension values; pseudo blocks merge base blocks so that the tuples
+of one cube cell fill a disk page (Section 3.2.3).
+"""
+
+from repro.partition.grid import GridPartition
+from repro.partition.equidepth import equidepth_boundaries, equidepth_partition
+from repro.partition.equiwidth import equiwidth_boundaries, equiwidth_partition
+
+__all__ = [
+    "GridPartition",
+    "equidepth_boundaries",
+    "equidepth_partition",
+    "equiwidth_boundaries",
+    "equiwidth_partition",
+]

@@ -1,0 +1,32 @@
+"""Equi-width partitioning — the alternative strategy noted in Section 3.6.2."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.partition.grid import GridPartition
+from repro.storage.table import Relation
+
+
+def equiwidth_boundaries(values: np.ndarray, num_bins: int) -> np.ndarray:
+    """Evenly spaced boundaries between the column minimum and maximum."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return np.linspace(0.0, 1.0, num_bins + 1)
+    low, high = float(values.min()), float(values.max())
+    if high <= low:
+        high = low + 1.0
+    return np.linspace(low, high, num_bins + 1)
+
+
+def equiwidth_partition(relation: Relation, num_bins: int,
+                        dims: Optional[Sequence[str]] = None) -> GridPartition:
+    """Build an equi-width :class:`GridPartition` with ``num_bins`` per dim."""
+    dims = tuple(dims) if dims else relation.ranking_dims
+    boundaries = {
+        dim: equiwidth_boundaries(relation.ranking_column(dim), num_bins)
+        for dim in dims
+    }
+    return GridPartition(dims, boundaries)

@@ -1,0 +1,94 @@
+"""Branch-and-bound query processing with boolean pruning (Algorithm 3).
+
+The executor walks the R-tree best-first on the ranking function's lower
+bounds and consults the (lazily loaded) signatures to skip any node or leaf
+entry whose subtree contains no tuple satisfying the boolean predicate.
+Because leaf-entry signature bits are exact, results need no further
+boolean verification.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import List, Optional, Tuple
+
+from repro.cube.query import TopKAccumulator
+from repro.query import Predicate, QueryResult, TopKQuery
+from repro.signature.cube import SignatureRankingCube
+
+
+class SignatureTopKExecutor:
+    """Runs top-k queries against a :class:`SignatureRankingCube`."""
+
+    def __init__(self, cube: SignatureRankingCube) -> None:
+        self.cube = cube
+        self.relation = cube.relation
+        self.rtree = cube.rtree
+
+    def query(self, query: TopKQuery) -> QueryResult:
+        """Execute Algorithm 3: ranking pruning + signature boolean pruning."""
+        query.validate(self.relation)
+        start = time.perf_counter()
+        rtree_io_before = self.rtree.pager.stats.physical_reads
+        sig_io_before = self.cube.store.pager.stats.physical_reads
+
+        function = query.function
+        dims = self.rtree.dims
+        dim_positions = [dims.index(d) for d in function.dims]
+        reader = self.cube.signature_reader(query.predicate)
+
+        topk = TopKAccumulator(query.k)
+        states = 0
+        peak_heap = 0
+        counter = 0
+
+        root = self.rtree.root()
+        if reader is not None and not reader.test(()):
+            elapsed = time.perf_counter() - start
+            return QueryResult(tids=(), scores=(), elapsed_seconds=elapsed)
+
+        heap: List[Tuple[float, int, object]] = [
+            (function.lower_bound(root.box), counter, root)]
+        while heap:
+            peak_heap = max(peak_heap, len(heap))
+            bound, _, node = heapq.heappop(heap)
+            if topk.is_full() and topk.kth_score <= bound:
+                break
+            states += 1
+            if node.is_leaf:
+                for entry in self.rtree.leaf_entries(node):
+                    entry_path = node.path + (entry.position,)
+                    if reader is not None and not reader.test(entry_path):
+                        continue
+                    score = function.evaluate([entry.values[i] for i in dim_positions])
+                    topk.offer(entry.tid, score)
+            else:
+                for child in self.rtree.children(node):
+                    if reader is not None and not reader.test(child.path):
+                        continue
+                    child_bound = function.lower_bound(child.box)
+                    if topk.is_full() and child_bound >= topk.kth_score:
+                        continue
+                    counter += 1
+                    heapq.heappush(heap, (child_bound, counter, child))
+
+        rtree_io = self.rtree.pager.stats.physical_reads - rtree_io_before
+        sig_io = self.cube.store.pager.stats.physical_reads - sig_io_before
+        elapsed = time.perf_counter() - start
+        ranked = topk.ranked()
+        return QueryResult(
+            tids=tuple(tid for tid, _ in ranked),
+            scores=tuple(score for _, score in ranked),
+            disk_accesses=rtree_io + sig_io,
+            states_generated=states,
+            peak_heap_size=peak_heap,
+            tuples_evaluated=states,
+            elapsed_seconds=elapsed,
+            extra={"rtree_accesses": float(rtree_io),
+                   "signature_accesses": float(sig_io)},
+        )
+
+    def top_k(self, predicate: Predicate, function, k: int) -> QueryResult:
+        """Convenience wrapper."""
+        return self.query(TopKQuery(predicate=predicate, function=function, k=k))

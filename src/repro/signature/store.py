@@ -1,0 +1,234 @@
+"""Partial-signature decomposition and paged storage (Section 4.2.3).
+
+A cell's signature is decomposed into *partial signatures*, each holding a
+breadth-first chunk of the tree sized to roughly ``alpha * page_size`` so it
+fits a data page with room for in-place growth.  Each partial signature is
+referenced by the path (equivalently, SID) of its shallowest node; at query
+time partial signatures are loaded lazily — only when the search asks about
+a node they encode — and every load costs one counted page access.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SignatureError
+from repro.signature.encoding import code_size_bits, encode_adaptive
+from repro.signature.signature import Path, Signature, path_to_sid
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+
+CellKey = Tuple[int, ...]
+CuboidKey = Tuple[str, ...]
+
+
+@dataclass
+class PartialSignature:
+    """One decomposed chunk of a signature tree."""
+
+    ref_path: Path
+    nodes: Dict[Path, List[int]]
+    size_bits: int
+
+    @property
+    def ref_sid(self) -> int:
+        """SID of the reference node (with respect to the owner's fanout)."""
+        return len(self.ref_path)  # informational; real SIDs need the fanout
+
+
+def decompose_signature(signature: Signature, budget_bits: int
+                        ) -> List[PartialSignature]:
+    """Split a signature into breadth-first partial signatures.
+
+    The first partial starts at the root; whenever the accumulated encoded
+    size reaches ``budget_bits``, the nodes still waiting in the traversal
+    queue become the reference nodes of subsequent partials (Section 4.2.3).
+    """
+    if budget_bits <= 0:
+        raise SignatureError("the partial-signature budget must be positive")
+    partials: List[PartialSignature] = []
+    assigned: Set[Path] = set()
+    pending: deque = deque([()])
+    while pending:
+        start = pending.popleft()
+        if start in assigned or start not in signature.nodes:
+            continue
+        nodes: Dict[Path, List[int]] = {}
+        size = 0
+        queue: deque = deque([start])
+        while queue:
+            if size >= budget_bits:
+                break
+            path = queue.popleft()
+            if path in assigned or path not in signature.nodes:
+                continue
+            bits = signature.node_bits(path)
+            size += code_size_bits(encode_adaptive(bits, signature.fanout))
+            nodes[path] = bits
+            assigned.add(path)
+            for position in sorted(signature.nodes[path]):
+                child = path + (position,)
+                if child in signature.nodes:
+                    queue.append(child)
+        pending.extend(queue)
+        if nodes:
+            partials.append(PartialSignature(ref_path=start, nodes=nodes, size_bits=size))
+    return partials
+
+
+def reassemble_signature(partials: Iterable[PartialSignature], fanout: int) -> Signature:
+    """Rebuild the full signature tree from its partial signatures."""
+    nodes: Dict[Path, Set[int]] = {}
+    for partial in partials:
+        for path, bits in partial.nodes.items():
+            nodes[path] = {i + 1 for i, b in enumerate(bits) if b == 1}
+    return Signature(fanout, nodes)
+
+
+class SignatureStore:
+    """Paged storage of the partial signatures of every (cuboid, cell)."""
+
+    def __init__(self, fanout: int, pager: Optional[Pager] = None,
+                 alpha: float = 0.5, buffer_capacity: int = 512) -> None:
+        if not 0 < alpha <= 1:
+            raise SignatureError("alpha must be in (0, 1]")
+        self.fanout = fanout
+        self.pager = pager or Pager()
+        self.buffer = BufferPool(self.pager, capacity=buffer_capacity)
+        self.budget_bits = int(alpha * self.pager.page_size * 8)
+        # (cuboid dims, cell) -> {ref_path: page_id}
+        self._index: Dict[Tuple[CuboidKey, CellKey], Dict[Path, int]] = {}
+        self._size_bits: Dict[Tuple[CuboidKey, CellKey], int] = {}
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, cuboid: CuboidKey, cell: CellKey, signature: Signature) -> int:
+        """Store (or replace) the signature of one cell; returns pages written."""
+        key = (tuple(cuboid), tuple(cell))
+        existing = self._index.pop(key, {})
+        for page_id in existing.values():
+            self.pager.free(page_id)
+            self.buffer.invalidate(page_id)
+        partials = decompose_signature(signature, self.budget_bits)
+        refs: Dict[Path, int] = {}
+        total_bits = 0
+        for partial in partials:
+            payload = {"ref": partial.ref_path, "nodes": dict(partial.nodes)}
+            refs[partial.ref_path] = self.pager.allocate(payload)
+            total_bits += partial.size_bits
+        self._index[key] = refs
+        self._size_bits[key] = total_bits
+        return len(refs)
+
+    def has_cell(self, cuboid: CuboidKey, cell: CellKey) -> bool:
+        """Whether a signature was materialized for this cell."""
+        return (tuple(cuboid), tuple(cell)) in self._index
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def reader(self, cuboid: CuboidKey, cell: CellKey) -> "CellSignatureReader":
+        """Lazy reader over one cell's partial signatures."""
+        key = (tuple(cuboid), tuple(cell))
+        refs = self._index.get(key, {})
+        return CellSignatureReader(self, refs)
+
+    def load_signature(self, cuboid: CuboidKey, cell: CellKey) -> Signature:
+        """Load and reassemble the whole signature of one cell (maintenance)."""
+        key = (tuple(cuboid), tuple(cell))
+        refs = self._index.get(key, {})
+        partials = []
+        for page_id in refs.values():
+            payload = self.buffer.read(page_id)
+            partials.append(PartialSignature(ref_path=payload["ref"],
+                                             nodes=payload["nodes"], size_bits=0))
+        return reassemble_signature(partials, self.fanout)
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+    def total_size_bits(self) -> int:
+        """Encoded size of every stored signature, in bits."""
+        return sum(self._size_bits.values())
+
+    def total_size_bytes(self) -> int:
+        """Encoded size of every stored signature, in bytes."""
+        return -(-self.total_size_bits() // 8)
+
+    def num_pages(self) -> int:
+        """Number of partial-signature pages currently stored."""
+        return sum(len(refs) for refs in self._index.values())
+
+    def cells(self) -> List[Tuple[CuboidKey, CellKey]]:
+        """Every (cuboid, cell) with a stored signature."""
+        return list(self._index.keys())
+
+
+class CellSignatureReader:
+    """Lazily loads one cell's partial signatures during query processing."""
+
+    def __init__(self, store: SignatureStore, refs: Dict[Path, int]) -> None:
+        self.store = store
+        self.refs = dict(refs)
+        self._nodes: Dict[Path, Set[int]] = {}
+        self._loaded_refs: Set[Path] = set()
+        self.pages_loaded = 0
+
+    def _load_ref(self, ref: Path) -> None:
+        if ref in self._loaded_refs or ref not in self.refs:
+            return
+        payload = self.store.buffer.read(self.refs[ref])
+        self.pages_loaded += 1
+        self._loaded_refs.add(ref)
+        for path, bits in payload["nodes"].items():
+            self._nodes[path] = {i + 1 for i, b in enumerate(bits) if b == 1}
+
+    def _ensure_node(self, path: Path) -> None:
+        if path in self._nodes:
+            return
+        # Load the partial signatures referenced by prefixes of the path,
+        # shallowest first (the thesis walks the first-level node, then the
+        # second-level node, and so on).
+        for depth in range(len(path) + 1):
+            prefix = path[:depth]
+            if prefix in self.refs and prefix not in self._loaded_refs:
+                self._load_ref(prefix)
+                if path in self._nodes:
+                    return
+
+    def test(self, path: Path) -> bool:
+        """Whether the node / entry at ``path`` may hold a qualifying tuple."""
+        if not self.refs:
+            return False
+        if not path:
+            self._ensure_node(())
+            return bool(self._nodes.get(()))
+        parent = path[:-1]
+        self._ensure_node(parent)
+        bits = self._nodes.get(parent)
+        return bits is not None and path[-1] in bits
+
+
+class CombinedSignatureReader:
+    """AND-combination of several cell readers (on-line predicate assembly).
+
+    At internal nodes the conjunction is conservative (it may fail to prune
+    a node whose subtrees do not actually intersect), and at leaf-entry
+    level it is exact, so query results never need re-verification.
+    """
+
+    def __init__(self, readers: Sequence[CellSignatureReader]) -> None:
+        if not readers:
+            raise SignatureError("at least one signature reader is required")
+        self.readers = list(readers)
+
+    def test(self, path: Path) -> bool:
+        return all(reader.test(path) for reader in self.readers)
+
+    @property
+    def pages_loaded(self) -> int:
+        """Signature pages loaded across all member readers."""
+        return sum(reader.pages_loaded for reader in self.readers)

@@ -1,0 +1,29 @@
+"""Chapter 7: skyline and dynamic-skyline queries with boolean predicates."""
+
+from repro.skyline.dominance import (
+    box_min_corner,
+    dominated_by_any,
+    dominates,
+    mindist,
+    skyline_of,
+    transform_dynamic,
+)
+from repro.skyline.engine import (
+    BooleanFirstSkyline,
+    SkylineEngine,
+    SkylineResult,
+    SkylineSession,
+)
+
+__all__ = [
+    "box_min_corner",
+    "dominated_by_any",
+    "dominates",
+    "mindist",
+    "skyline_of",
+    "transform_dynamic",
+    "BooleanFirstSkyline",
+    "SkylineEngine",
+    "SkylineResult",
+    "SkylineSession",
+]

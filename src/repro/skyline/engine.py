@@ -1,0 +1,220 @@
+"""Skyline queries with boolean predicates (Sections 7.2.2–7.2.4).
+
+The signature-pruned engine follows the branch-and-bound skyline (BBS)
+paradigm: R-tree entries are visited in increasing *mindist* order, a node
+is pruned if its best mapped corner is dominated by an already-found skyline
+point (domination pruning) or if its signature bit says no tuple inside
+satisfies the boolean predicate (boolean pruning).  Dynamic skylines map
+every value to its distance from a query target before dominance is tested.
+
+Drill-down / roll-up sessions (Section 7.2.4) reuse the pages and entries
+retrieved by the previous query: the buffer pool stays warm, so an OLAP
+navigation step costs far fewer disk accesses than a fresh query.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query import Predicate, SkylineQuery
+from repro.signature.cube import SignatureRankingCube
+from repro.skyline.dominance import (
+    box_min_corner,
+    dominated_by_any,
+    mindist,
+    skyline_of,
+    transform_dynamic,
+)
+from repro.storage.table import Relation
+
+
+@dataclass
+class SkylineResult:
+    """Skyline answer plus the statistics reported in Figures 7.3–7.5."""
+
+    tids: Tuple[int, ...]
+    disk_accesses: int = 0
+    signature_accesses: int = 0
+    peak_heap_size: int = 0
+    nodes_expanded: int = 0
+    elapsed_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+
+class SkylineEngine:
+    """BBS-style skyline computation over a signature ranking cube."""
+
+    def __init__(self, cube: SignatureRankingCube, use_signature: bool = True) -> None:
+        self.cube = cube
+        self.relation = cube.relation
+        self.rtree = cube.rtree
+        self.use_signature = use_signature
+
+    # ------------------------------------------------------------------
+    # main query entry point
+    # ------------------------------------------------------------------
+    def query(self, query: SkylineQuery) -> SkylineResult:
+        """Compute the (dynamic) skyline restricted by the boolean predicate."""
+        for dim in query.preference_dims:
+            if dim not in self.rtree.dims:
+                raise QueryError(
+                    f"preference dimension {dim!r} is not covered by the R-tree")
+        start = time.perf_counter()
+        rtree_before = self.rtree.pager.stats.physical_reads
+        sig_before = self.cube.store.pager.stats.physical_reads
+
+        dims = tuple(query.preference_dims)
+        targets = list(query.targets) if query.targets is not None else None
+        reader = (self.cube.signature_reader(query.predicate)
+                  if self.use_signature and not query.predicate.is_empty() else None)
+        verify = reader is None and not query.predicate.is_empty()
+
+        skyline: List[Tuple[int, Tuple[float, ...]]] = []
+        peak_heap = 0
+        expanded = 0
+        verifications = 0
+        counter = 0
+
+        root = self.rtree.root()
+        if reader is not None and not reader.test(()):
+            elapsed = time.perf_counter() - start
+            return SkylineResult(tids=(), elapsed_seconds=elapsed)
+
+        root_corner = box_min_corner(root.box.project(dims), dims, targets)
+        heap: List[Tuple[float, int, object]] = [(mindist(root_corner), counter, root)]
+        dim_positions = [self.rtree.dims.index(d) for d in dims]
+
+        while heap:
+            peak_heap = max(peak_heap, len(heap))
+            _, _, item = heapq.heappop(heap)
+
+            if isinstance(item, tuple):  # a data point: (tid, mapped values)
+                tid, mapped = item
+                if dominated_by_any(mapped, (vals for _, vals in skyline)):
+                    continue
+                skyline.append((tid, mapped))
+                continue
+
+            node = item
+            node_corner = box_min_corner(node.box.project(dims), dims, targets)
+            if dominated_by_any(node_corner, (vals for _, vals in skyline)):
+                continue
+            expanded += 1
+            if node.is_leaf:
+                for entry in self.rtree.leaf_entries(node):
+                    entry_path = node.path + (entry.position,)
+                    if reader is not None and not reader.test(entry_path):
+                        continue
+                    if verify:
+                        verifications += 1
+                        if not query.predicate.matches(self.relation, entry.tid):
+                            continue
+                    raw = [entry.values[i] for i in dim_positions]
+                    mapped = transform_dynamic(raw, targets)
+                    if dominated_by_any(mapped, (vals for _, vals in skyline)):
+                        continue
+                    counter += 1
+                    heapq.heappush(heap, (mindist(mapped), counter, (entry.tid, mapped)))
+            else:
+                for child in self.rtree.children(node):
+                    if reader is not None and not reader.test(child.path):
+                        continue
+                    child_corner = box_min_corner(child.box.project(dims), dims, targets)
+                    if dominated_by_any(child_corner, (vals for _, vals in skyline)):
+                        continue
+                    counter += 1
+                    heapq.heappush(heap, (mindist(child_corner), counter, child))
+
+        elapsed = time.perf_counter() - start
+        rtree_io = self.rtree.pager.stats.physical_reads - rtree_before
+        sig_io = self.cube.store.pager.stats.physical_reads - sig_before
+        return SkylineResult(
+            tids=tuple(sorted(tid for tid, _ in skyline)),
+            disk_accesses=rtree_io + sig_io + verifications,
+            signature_accesses=sig_io,
+            peak_heap_size=peak_heap,
+            nodes_expanded=expanded,
+            elapsed_seconds=elapsed,
+            extra={"boolean_verifications": float(verifications)},
+        )
+
+
+class BooleanFirstSkyline:
+    """Baseline: filter by the boolean predicate, then block-nested-loop skyline."""
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+
+    def query(self, query: SkylineQuery) -> SkylineResult:
+        """Scan, filter, then compute the skyline of the survivors."""
+        start = time.perf_counter()
+        mask = self.relation.mask_equal(query.predicate.as_dict)
+        tids = np.nonzero(mask)[0]
+        values = self.relation.ranking_values_bulk(tids, query.preference_dims)
+        targets = list(query.targets) if query.targets is not None else None
+        mapped = [
+            (int(tid), transform_dynamic(row, targets))
+            for tid, row in zip(tids, values)
+        ]
+        result = skyline_of(mapped)
+        elapsed = time.perf_counter() - start
+        from repro.baselines.table_scan import table_pages
+
+        return SkylineResult(
+            tids=tuple(sorted(tid for tid, _ in result)),
+            disk_accesses=table_pages(self.relation),
+            peak_heap_size=len(mapped),
+            nodes_expanded=len(mapped),
+            elapsed_seconds=elapsed,
+        )
+
+
+class SkylineSession:
+    """OLAP navigation session: drill-down / roll-up with warm buffers."""
+
+    def __init__(self, engine: SkylineEngine) -> None:
+        self.engine = engine
+        self._last_query: Optional[SkylineQuery] = None
+
+    def fresh(self, query: SkylineQuery) -> SkylineResult:
+        """Run a query from cold buffers (a brand-new query)."""
+        self.engine.rtree.buffer.invalidate()
+        self.engine.cube.store.buffer.invalidate()
+        result = self.engine.query(query)
+        self._last_query = query
+        return result
+
+    def drill_down(self, extra_conditions: Dict[str, int]) -> SkylineResult:
+        """Add boolean conditions to the previous query, reusing its pages."""
+        if self._last_query is None:
+            raise QueryError("drill_down requires a previous query in the session")
+        merged = dict(self._last_query.predicate.as_dict)
+        merged.update({k: int(v) for k, v in extra_conditions.items()})
+        query = SkylineQuery(Predicate.of(merged), self._last_query.preference_dims,
+                             self._last_query.targets)
+        result = self.engine.query(query)
+        self._last_query = query
+        return result
+
+    def roll_up(self, drop_dims: Sequence[str]) -> SkylineResult:
+        """Remove boolean conditions from the previous query, reusing its pages."""
+        if self._last_query is None:
+            raise QueryError("roll_up requires a previous query in the session")
+        remaining = {
+            dim: value for dim, value in self._last_query.predicate.as_dict.items()
+            if dim not in set(drop_dims)
+        }
+        query = SkylineQuery(Predicate.of(remaining), self._last_query.preference_dims,
+                             self._last_query.targets)
+        result = self.engine.query(query)
+        self._last_query = query
+        return result

@@ -1,0 +1,488 @@
+"""Page-based R-tree over the ranking dimensions.
+
+The R-tree is the hierarchical partition template of the signature-based
+ranking cube (Chapter 4): the cube's signatures mirror its node structure,
+queries walk it best-first, and incremental maintenance tracks how inserts
+move tuples between its nodes.  It is also one of the index types merged by
+Chapter 5 and the access structure of the skyline engine (Chapter 7).
+
+Construction is Sort-Tile-Recursive (STR) bulk loading; incremental inserts
+use Guttman's least-enlargement descent with quadratic node splits.  Because
+signature maintenance (Section 4.2.5) needs the *old* and *new* paths of
+every tuple whose position changes, :meth:`RTree.insert` reports exactly
+that in its :class:`InsertOutcome`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.geometry import Box, Interval
+from repro.storage.buffer import BufferPool
+from repro.storage.hierindex import HierarchicalIndex, LeafEntry, NodeHandle
+from repro.storage.pager import Pager
+
+#: Approximate bytes per R-tree entry per dimension, used to derive the node
+#: capacity from the page size (the thesis quotes M=204 for 2-d, 94 for 5-d
+#: nodes at 4 KB pages).
+_BYTES_PER_DIM = 10
+
+
+def capacity_for_page_size(page_size: int, num_dims: int) -> int:
+    """Node capacity (max entries) implied by a page size and dimensionality."""
+    return max(4, page_size // (_BYTES_PER_DIM * (num_dims + 1)))
+
+
+@dataclass
+class InsertOutcome:
+    """What an insert did to the tree, for signature maintenance.
+
+    ``old_paths`` / ``new_paths`` cover every pre-existing tuple whose path
+    changed (node splits re-distribute entries); ``new_paths`` additionally
+    contains the freshly inserted tid.  Paths use 1-based entry positions
+    and include the slot inside the leaf, matching Section 4.2.1.
+    """
+
+    tid: int
+    split_occurred: bool
+    old_paths: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    new_paths: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def changed_tids(self) -> List[int]:
+        """Tids (excluding the new one) whose paths actually changed."""
+        return [
+            tid for tid, old in self.old_paths.items()
+            if self.new_paths.get(tid) != old
+        ]
+
+
+def _mbr_of_points(points: Sequence[Sequence[float]]) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    array = np.asarray(points, dtype=np.float64)
+    return tuple(array.min(axis=0).tolist()), tuple(array.max(axis=0).tolist())
+
+
+def _mbr_union(lows_a, highs_a, lows_b, highs_b):
+    lows = tuple(min(a, b) for a, b in zip(lows_a, lows_b))
+    highs = tuple(max(a, b) for a, b in zip(highs_a, highs_b))
+    return lows, highs
+
+
+def _mbr_area(lows, highs) -> float:
+    area = 1.0
+    for lo, hi in zip(lows, highs):
+        area *= max(0.0, hi - lo)
+    return area
+
+
+def _enlargement(lows, highs, point) -> float:
+    new_lows = tuple(min(lo, p) for lo, p in zip(lows, point))
+    new_highs = tuple(max(hi, p) for hi, p in zip(highs, point))
+    return _mbr_area(new_lows, new_highs) - _mbr_area(lows, highs)
+
+
+class RTree(HierarchicalIndex):
+    """An R-tree storing points on the ranking dimensions."""
+
+    def __init__(self, dims: Sequence[str], pager: Optional[Pager] = None,
+                 max_entries: Optional[int] = None, min_entries: Optional[int] = None,
+                 buffer_capacity: int = 256) -> None:
+        if not dims:
+            raise IndexError_("an R-tree needs at least one dimension")
+        self.dims: Tuple[str, ...] = tuple(dims)
+        self.pager = pager or Pager()
+        self.max_entries = max_entries or capacity_for_page_size(
+            self.pager.page_size, len(self.dims))
+        if self.max_entries < 2:
+            raise IndexError_("R-tree max_entries must be at least 2")
+        self.min_entries = min_entries or max(1, self.max_entries // 3)
+        self.buffer = BufferPool(self.pager, capacity=buffer_capacity)
+        self._root_page: Optional[int] = None
+        self._height = 0
+        self._node_count = 0
+        self._num_entries = 0
+
+    # ------------------------------------------------------------------
+    # bulk loading (STR)
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, dims: Sequence[str], points: np.ndarray,
+              tids: Optional[Sequence[int]] = None, pager: Optional[Pager] = None,
+              max_entries: Optional[int] = None, min_entries: Optional[int] = None,
+              buffer_capacity: int = 256) -> "RTree":
+        """Bulk-load an R-tree with Sort-Tile-Recursive packing."""
+        tree = cls(dims, pager=pager, max_entries=max_entries,
+                   min_entries=min_entries, buffer_capacity=buffer_capacity)
+        tree._bulk_load(points, tids)
+        return tree
+
+    def _bulk_load(self, points: np.ndarray, tids: Optional[Sequence[int]]) -> None:
+        if self._root_page is not None:
+            raise IndexError_("R-tree is already built")
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != len(self.dims):
+            raise IndexError_(
+                f"points must be a (n, {len(self.dims)}) array, got {points.shape}")
+        if tids is None:
+            tids = np.arange(points.shape[0], dtype=np.int64)
+        else:
+            tids = np.asarray(tids, dtype=np.int64)
+        self._num_entries = points.shape[0]
+
+        if self._num_entries == 0:
+            payload = {"leaf": True, "entries": []}
+            self._root_page = self.pager.allocate(payload)
+            self._node_count = 1
+            self._height = 1
+            return
+
+        groups = self._str_pack(np.arange(self._num_entries), points, 0)
+        leaf_pages: List[int] = []
+        leaf_mbrs: List[Tuple[Tuple[float, ...], Tuple[float, ...]]] = []
+        for group in groups:
+            entries = [
+                {"tid": int(tids[i]), "point": tuple(points[i].tolist())}
+                for i in group
+            ]
+            payload = {"leaf": True, "entries": entries}
+            leaf_pages.append(self.pager.allocate(payload))
+            leaf_mbrs.append(_mbr_of_points([e["point"] for e in entries]))
+        self._node_count = len(leaf_pages)
+
+        level_pages, level_mbrs = leaf_pages, leaf_mbrs
+        height = 1
+        while len(level_pages) > 1:
+            parent_pages: List[int] = []
+            parent_mbrs: List[Tuple[Tuple[float, ...], Tuple[float, ...]]] = []
+            for start in range(0, len(level_pages), self.max_entries):
+                end = min(start + self.max_entries, len(level_pages))
+                entries = []
+                lows, highs = level_mbrs[start]
+                for child_id, (child_lows, child_highs) in zip(
+                        level_pages[start:end], level_mbrs[start:end]):
+                    entries.append({"child": child_id, "low": tuple(child_lows),
+                                    "high": tuple(child_highs)})
+                    lows, highs = _mbr_union(lows, highs, child_lows, child_highs)
+                payload = {"leaf": False, "entries": entries}
+                parent_pages.append(self.pager.allocate(payload))
+                parent_mbrs.append((lows, highs))
+            self._node_count += len(parent_pages)
+            level_pages, level_mbrs = parent_pages, parent_mbrs
+            height += 1
+        self._root_page = level_pages[0]
+        self._height = height
+
+    def _str_pack(self, indices: np.ndarray, points: np.ndarray, dim: int) -> List[np.ndarray]:
+        """Recursively sort-tile indices into leaf groups of at most ``max_entries``."""
+        count = len(indices)
+        num_leaves = math.ceil(count / self.max_entries)
+        if num_leaves <= 1:
+            return [indices]
+        remaining_dims = len(self.dims) - dim
+        if remaining_dims <= 1:
+            order = np.argsort(points[indices, dim], kind="stable")
+            ordered = indices[order]
+            return [
+                ordered[start:start + self.max_entries]
+                for start in range(0, count, self.max_entries)
+            ]
+        slices = math.ceil(num_leaves ** (1.0 / remaining_dims))
+        per_slice = math.ceil(count / slices)
+        order = np.argsort(points[indices, dim], kind="stable")
+        ordered = indices[order]
+        groups: List[np.ndarray] = []
+        for start in range(0, count, per_slice):
+            chunk = ordered[start:start + per_slice]
+            groups.extend(self._str_pack(chunk, points, dim + 1))
+        return groups
+
+    # ------------------------------------------------------------------
+    # incremental insertion (Guttman descent + quadratic split)
+    # ------------------------------------------------------------------
+    def insert(self, point: Sequence[float], tid: int) -> InsertOutcome:
+        """Insert a point, reporting every tuple whose path changed."""
+        if self._root_page is None:
+            raise IndexError_("R-tree has not been built (bulk-load first)")
+        point = tuple(float(v) for v in point)
+        if len(point) != len(self.dims):
+            raise IndexError_("point dimensionality does not match the tree")
+
+        descent = self._choose_path(point)
+        split_chain = self._predict_splits(descent)
+        root_will_split = split_chain == len(descent)
+
+        old_paths: Dict[int, Tuple[int, ...]] = {}
+        if split_chain > 0:
+            # Topmost node that will split: the (split_chain)-th node from the
+            # leaf upwards.  Capture every tuple path under it before any
+            # structural change (paths elsewhere are unaffected; if the root
+            # splits, every path gets a longer prefix, so capture everything).
+            if root_will_split:
+                old_paths = dict(self.iter_tuple_paths())
+            else:
+                top_index = len(descent) - split_chain
+                top_page = descent[top_index][0]
+                top_path = tuple(pos for _, pos in descent[1:top_index + 1])
+                old_paths = dict(self._paths_under(top_page, top_path))
+
+        self._num_entries += 1
+        split_occurred = self._insert_at_leaf(descent, point, tid)
+
+        new_paths: Dict[int, Tuple[int, ...]] = {}
+        if split_occurred:
+            if root_will_split or self._root_split_happened:
+                new_paths = dict(self.iter_tuple_paths())
+                old_restricted = old_paths
+            else:
+                top_index = len(descent) - split_chain
+                parent_index = max(0, top_index - 1)
+                parent_page = descent[parent_index][0]
+                parent_path = tuple(pos for _, pos in descent[1:parent_index + 1])
+                new_paths = dict(self._paths_under(parent_page, parent_path))
+                old_restricted = old_paths
+            changed_old = {
+                t: p for t, p in old_restricted.items()
+                if new_paths.get(t) is not None and new_paths[t] != p
+            }
+            changed_new = {t: new_paths[t] for t in changed_old}
+            changed_new[tid] = self.path_of_tid(tid)
+            return InsertOutcome(tid=tid, split_occurred=True,
+                                 old_paths=changed_old, new_paths=changed_new)
+
+        leaf_payload = self.pager.read(descent[-1][0], physical=False)
+        leaf_path = tuple(pos for _, pos in descent[1:])
+        new_path = leaf_path + (len(leaf_payload["entries"]),)
+        return InsertOutcome(
+            tid=tid, split_occurred=False, old_paths={}, new_paths={tid: new_path})
+
+    def _choose_path(self, point: Tuple[float, ...]) -> List[Tuple[int, int]]:
+        """Least-enlargement descent.  Returns [(page_id, entry_pos_in_parent)]
+        from the root (position 0, unused) down to the target leaf."""
+        path: List[Tuple[int, int]] = [(self._root_page, 0)]
+        page_id = self._root_page
+        payload = self.buffer.read(page_id)
+        while not payload["leaf"]:
+            best_pos, best_child, best_cost, best_area = 0, None, float("inf"), float("inf")
+            for pos, entry in enumerate(payload["entries"], start=1):
+                cost = _enlargement(entry["low"], entry["high"], point)
+                area = _mbr_area(entry["low"], entry["high"])
+                if cost < best_cost or (cost == best_cost and area < best_area):
+                    best_pos, best_child, best_cost, best_area = pos, entry["child"], cost, area
+            path.append((best_child, best_pos))
+            page_id = best_child
+            payload = self.buffer.read(page_id)
+        return path
+
+    def _predict_splits(self, descent: List[Tuple[int, int]]) -> int:
+        """Length of the contiguous chain of nodes (from the leaf upward)
+        that will split when one entry is added at the leaf."""
+        chain = 0
+        for page_id, _ in reversed(descent):
+            payload = self.pager.read(page_id, physical=False)
+            if len(payload["entries"]) >= self.max_entries:
+                chain += 1
+            else:
+                break
+        return chain
+
+    def _insert_at_leaf(self, descent: List[Tuple[int, int]],
+                        point: Tuple[float, ...], tid: int) -> bool:
+        self._root_split_happened = False
+        leaf_id = descent[-1][0]
+        payload = self.buffer.read(leaf_id)
+        payload["entries"].append({"tid": tid, "point": point})
+        self.buffer.write(leaf_id, payload)
+        self._adjust_mbrs(descent, point)
+
+        split_occurred = False
+        level = len(descent) - 1
+        while level >= 0:
+            page_id = descent[level][0]
+            payload = self.pager.read(page_id, physical=False)
+            if len(payload["entries"]) <= self.max_entries:
+                break
+            split_occurred = True
+            new_page_id = self._split_node(page_id)
+            if level == 0:
+                self._grow_root(page_id, new_page_id)
+                self._root_split_happened = True
+                break
+            parent_id = descent[level - 1][0]
+            parent = self.pager.read(parent_id, physical=False)
+            lows, highs = self._node_mbr(new_page_id)
+            parent["entries"].append({"child": new_page_id, "low": lows, "high": highs})
+            old_lows, old_highs = self._node_mbr(page_id)
+            for entry in parent["entries"]:
+                if entry["child"] == page_id:
+                    entry["low"], entry["high"] = old_lows, old_highs
+                    break
+            self.buffer.write(parent_id, parent)
+            level -= 1
+        return split_occurred
+
+    def _adjust_mbrs(self, descent: List[Tuple[int, int]], point: Tuple[float, ...]) -> None:
+        for level in range(len(descent) - 1):
+            parent_id = descent[level][0]
+            child_id = descent[level + 1][0]
+            parent = self.pager.read(parent_id, physical=False)
+            for entry in parent["entries"]:
+                if entry["child"] == child_id:
+                    entry["low"] = tuple(min(lo, p) for lo, p in zip(entry["low"], point))
+                    entry["high"] = tuple(max(hi, p) for hi, p in zip(entry["high"], point))
+                    break
+            self.buffer.write(parent_id, parent)
+
+    def _split_node(self, page_id: int) -> int:
+        """Quadratic split: distribute the node's entries into two nodes,
+        keeping the original page for group 1 and allocating a new page for
+        group 2.  Returns the new page id."""
+        payload = self.pager.read(page_id, physical=False)
+        entries = payload["entries"]
+        mbrs = [self._entry_mbr(e) for e in entries]
+
+        # Pick seed pair with the largest dead area.
+        worst, seeds = -1.0, (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                lows, highs = _mbr_union(*mbrs[i], *mbrs[j])
+                waste = _mbr_area(lows, highs) - _mbr_area(*mbrs[i]) - _mbr_area(*mbrs[j])
+                if waste > worst:
+                    worst, seeds = waste, (i, j)
+
+        group1, group2 = [seeds[0]], [seeds[1]]
+        mbr1, mbr2 = mbrs[seeds[0]], mbrs[seeds[1]]
+        remaining = [i for i in range(len(entries)) if i not in seeds]
+        for i in remaining:
+            need1 = self.min_entries - len(group1)
+            need2 = self.min_entries - len(group2)
+            left = len(remaining) - (len(group1) + len(group2) - 2)
+            if need1 >= left:
+                target = 1
+            elif need2 >= left:
+                target = 2
+            else:
+                enlarge1 = _mbr_area(*_mbr_union(*mbr1, *mbrs[i])) - _mbr_area(*mbr1)
+                enlarge2 = _mbr_area(*_mbr_union(*mbr2, *mbrs[i])) - _mbr_area(*mbr2)
+                target = 1 if enlarge1 <= enlarge2 else 2
+            if target == 1:
+                group1.append(i)
+                mbr1 = _mbr_union(*mbr1, *mbrs[i])
+            else:
+                group2.append(i)
+                mbr2 = _mbr_union(*mbr2, *mbrs[i])
+
+        payload["entries"] = [entries[i] for i in group1]
+        self.buffer.write(page_id, payload)
+        new_payload = {"leaf": payload["leaf"], "entries": [entries[i] for i in group2]}
+        new_page_id = self.pager.allocate(new_payload)
+        self._node_count += 1
+        return new_page_id
+
+    def _grow_root(self, old_root: int, sibling: int) -> None:
+        lows1, highs1 = self._node_mbr(old_root)
+        lows2, highs2 = self._node_mbr(sibling)
+        payload = {
+            "leaf": False,
+            "entries": [
+                {"child": old_root, "low": lows1, "high": highs1},
+                {"child": sibling, "low": lows2, "high": highs2},
+            ],
+        }
+        self._root_page = self.pager.allocate(payload)
+        self._node_count += 1
+        self._height += 1
+
+    def _entry_mbr(self, entry: dict) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        if "point" in entry:
+            return tuple(entry["point"]), tuple(entry["point"])
+        return tuple(entry["low"]), tuple(entry["high"])
+
+    def _node_mbr(self, page_id: int) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        payload = self.pager.read(page_id, physical=False)
+        entries = payload["entries"]
+        if not entries:
+            zero = tuple(0.0 for _ in self.dims)
+            return zero, zero
+        lows, highs = self._entry_mbr(entries[0])
+        for entry in entries[1:]:
+            lows, highs = _mbr_union(lows, highs, *self._entry_mbr(entry))
+        return lows, highs
+
+    # ------------------------------------------------------------------
+    # path utilities
+    # ------------------------------------------------------------------
+    def _paths_under(self, page_id: int, prefix: Tuple[int, ...]
+                     ) -> List[Tuple[int, Tuple[int, ...]]]:
+        result: List[Tuple[int, Tuple[int, ...]]] = []
+        payload = self.pager.read(page_id, physical=False)
+        if payload["leaf"]:
+            for pos, entry in enumerate(payload["entries"], start=1):
+                result.append((entry["tid"], prefix + (pos,)))
+            return result
+        for pos, entry in enumerate(payload["entries"], start=1):
+            result.extend(self._paths_under(entry["child"], prefix + (pos,)))
+        return result
+
+    def path_of_tid(self, tid: int) -> Tuple[int, ...]:
+        """Path of one tuple (linear scan; used only after single inserts)."""
+        for found_tid, path in self.iter_tuple_paths():
+            if found_tid == tid:
+                return path
+        raise IndexError_(f"tid {tid} is not stored in this R-tree")
+
+    # ------------------------------------------------------------------
+    # HierarchicalIndex interface
+    # ------------------------------------------------------------------
+    def root(self) -> NodeHandle:
+        if self._root_page is None:
+            raise IndexError_("R-tree has not been built")
+        lows, highs = self._node_mbr(self._root_page)
+        payload = self.pager.read(self._root_page, physical=False)
+        box = Box.from_bounds(self.dims, lows, highs)
+        return NodeHandle(page_id=self._root_page, box=box,
+                          is_leaf=payload["leaf"], level=self._height, path=())
+
+    def children(self, node: NodeHandle) -> List[NodeHandle]:
+        if node.is_leaf:
+            return []
+        payload = self.buffer.read(node.page_id)
+        handles: List[NodeHandle] = []
+        for position, entry in enumerate(payload["entries"], start=1):
+            child_payload = self.pager.read(entry["child"], physical=False)
+            box = Box.from_bounds(self.dims, entry["low"], entry["high"])
+            handles.append(NodeHandle(
+                page_id=entry["child"], box=box, is_leaf=child_payload["leaf"],
+                level=node.level - 1, path=node.path + (position,)))
+        return handles
+
+    def leaf_entries(self, node: NodeHandle) -> List[LeafEntry]:
+        payload = self.buffer.read(node.page_id)
+        if not payload["leaf"]:
+            raise IndexError_(f"page {node.page_id} is not a leaf")
+        return [
+            LeafEntry(tid=int(entry["tid"]), values=tuple(entry["point"]), position=i)
+            for i, entry in enumerate(payload["entries"], start=1)
+        ]
+
+    def height(self) -> int:
+        return self._height
+
+    def node_count(self) -> int:
+        return self._node_count
+
+    def max_fanout(self) -> int:
+        return self.max_entries
+
+    @property
+    def num_entries(self) -> int:
+        """Number of indexed points."""
+        return self._num_entries
+
+    def size_in_bytes(self) -> int:
+        """Estimated materialized size of the tree."""
+        return self.pager.total_bytes()

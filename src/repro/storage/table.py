@@ -1,0 +1,280 @@
+"""Relation, schema, and columnar tuple storage.
+
+The ranking-cube data model (thesis Section 1.2.1) is a relation ``R`` with
+
+* categorical *selection* (boolean) dimensions ``A1..AS`` — low-cardinality
+  attributes used in equality predicates, and
+* real-valued *ranking* dimensions ``N1..NR`` — attributes used inside the
+  ad-hoc ranking function.
+
+A :class:`Relation` stores both groups columnar (NumPy arrays) so that
+selection masks and ranking-value lookups are vectorized, while the query
+engines address individual tuples by their ``tid`` (0-based row position,
+matching the thesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Names of the selection and ranking dimensions of a relation."""
+
+    selection_dims: Tuple[str, ...]
+    ranking_dims: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.selection_dims) & set(self.ranking_dims)
+        if overlap:
+            raise SchemaError(
+                f"dimensions {sorted(overlap)} appear as both selection and ranking"
+            )
+        if len(set(self.selection_dims)) != len(self.selection_dims):
+            raise SchemaError("duplicate selection dimension names")
+        if len(set(self.ranking_dims)) != len(self.ranking_dims):
+            raise SchemaError("duplicate ranking dimension names")
+
+    @property
+    def all_dims(self) -> Tuple[str, ...]:
+        """Selection dimensions followed by ranking dimensions."""
+        return self.selection_dims + self.ranking_dims
+
+    def selection_index(self, name: str) -> int:
+        """Column position of a selection dimension."""
+        try:
+            return self.selection_dims.index(name)
+        except ValueError as exc:
+            raise SchemaError(f"unknown selection dimension {name!r}") from exc
+
+    def ranking_index(self, name: str) -> int:
+        """Column position of a ranking dimension."""
+        try:
+            return self.ranking_dims.index(name)
+        except ValueError as exc:
+            raise SchemaError(f"unknown ranking dimension {name!r}") from exc
+
+    def is_selection(self, name: str) -> bool:
+        """Return whether ``name`` is a selection dimension."""
+        return name in self.selection_dims
+
+    def is_ranking(self, name: str) -> bool:
+        """Return whether ``name`` is a ranking dimension."""
+        return name in self.ranking_dims
+
+
+class Relation:
+    """A columnar relation with categorical selection and real ranking dims.
+
+    Parameters
+    ----------
+    schema:
+        Names of the two dimension groups.
+    selection_data:
+        Integer array of shape ``(T, S)`` with the coded categorical values.
+    ranking_data:
+        Float array of shape ``(T, R)`` with the ranking attribute values.
+    name:
+        Optional relation name, used by the multi-relation (SPJR) engine.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        selection_data: np.ndarray,
+        ranking_data: np.ndarray,
+        name: str = "R",
+    ) -> None:
+        selection_data = np.asarray(selection_data, dtype=np.int64)
+        ranking_data = np.asarray(ranking_data, dtype=np.float64)
+        if selection_data.ndim != 2 or ranking_data.ndim != 2:
+            raise SchemaError("selection_data and ranking_data must be 2-D arrays")
+        if selection_data.shape[1] != len(schema.selection_dims):
+            raise SchemaError(
+                f"selection_data has {selection_data.shape[1]} columns, "
+                f"schema declares {len(schema.selection_dims)}"
+            )
+        if ranking_data.shape[1] != len(schema.ranking_dims):
+            raise SchemaError(
+                f"ranking_data has {ranking_data.shape[1]} columns, "
+                f"schema declares {len(schema.ranking_dims)}"
+            )
+        if selection_data.shape[0] != ranking_data.shape[0]:
+            raise SchemaError("selection_data and ranking_data row counts differ")
+        self.schema = schema
+        self.name = name
+        self._selection = selection_data
+        self._ranking = ranking_data
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Mapping[str, object]],
+        name: str = "R",
+    ) -> "Relation":
+        """Build a relation from an iterable of ``{dim: value}`` mappings."""
+        rows = list(rows)
+        selection = np.zeros((len(rows), len(schema.selection_dims)), dtype=np.int64)
+        ranking = np.zeros((len(rows), len(schema.ranking_dims)), dtype=np.float64)
+        for i, row in enumerate(rows):
+            for j, dim in enumerate(schema.selection_dims):
+                selection[i, j] = int(row[dim])  # type: ignore[arg-type]
+            for j, dim in enumerate(schema.ranking_dims):
+                ranking[i, j] = float(row[dim])  # type: ignore[arg-type]
+        return cls(schema, selection, ranking, name=name)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_tuples(self) -> int:
+        """Number of tuples (``T`` in the thesis)."""
+        return self._selection.shape[0]
+
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    @property
+    def selection_dims(self) -> Tuple[str, ...]:
+        """Names of the selection dimensions."""
+        return self.schema.selection_dims
+
+    @property
+    def ranking_dims(self) -> Tuple[str, ...]:
+        """Names of the ranking dimensions."""
+        return self.schema.ranking_dims
+
+    def selection_column(self, name: str) -> np.ndarray:
+        """Return the full coded column of a selection dimension."""
+        return self._selection[:, self.schema.selection_index(name)]
+
+    def ranking_column(self, name: str) -> np.ndarray:
+        """Return the full column of a ranking dimension."""
+        return self._ranking[:, self.schema.ranking_index(name)]
+
+    def selection_matrix(self) -> np.ndarray:
+        """Return the ``(T, S)`` selection value matrix (read-only view)."""
+        return self._selection
+
+    def ranking_matrix(self) -> np.ndarray:
+        """Return the ``(T, R)`` ranking value matrix (read-only view)."""
+        return self._ranking
+
+    def cardinality(self, name: str) -> int:
+        """Number of distinct values of a selection dimension."""
+        return int(np.unique(self.selection_column(name)).size)
+
+    def selection_values(self, tid: int) -> Dict[str, int]:
+        """Selection values of one tuple as a ``{dim: value}`` dict."""
+        row = self._selection[tid]
+        return {dim: int(row[j]) for j, dim in enumerate(self.schema.selection_dims)}
+
+    def ranking_values(self, tid: int, dims: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Ranking values of one tuple, optionally restricted to ``dims``."""
+        row = self._ranking[tid]
+        if dims is None:
+            return row
+        idx = [self.schema.ranking_index(d) for d in dims]
+        return row[idx]
+
+    def ranking_values_bulk(self, tids: Sequence[int],
+                            dims: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Ranking values for many tuples at once (``len(tids) × len(dims)``)."""
+        tid_array = np.asarray(list(tids), dtype=np.int64)
+        block = self._ranking[tid_array]
+        if dims is None:
+            return block
+        idx = [self.schema.ranking_index(d) for d in dims]
+        return block[:, idx]
+
+    def tuple_dict(self, tid: int) -> Dict[str, object]:
+        """Full tuple as a ``{dim: value}`` dict (selection + ranking)."""
+        out: Dict[str, object] = dict(self.selection_values(tid))
+        row = self._ranking[tid]
+        for j, dim in enumerate(self.schema.ranking_dims):
+            out[dim] = float(row[j])
+        return out
+
+    def iter_tids(self) -> Iterator[int]:
+        """Iterate over all tuple ids."""
+        return iter(range(self.num_tuples))
+
+    # ------------------------------------------------------------------
+    # predicate evaluation helpers
+    # ------------------------------------------------------------------
+    def mask_equal(self, conditions: Mapping[str, int]) -> np.ndarray:
+        """Boolean mask of tuples matching every ``dim == value`` condition."""
+        mask = np.ones(self.num_tuples, dtype=bool)
+        for dim, value in conditions.items():
+            mask &= self.selection_column(dim) == int(value)
+        return mask
+
+    def tids_matching(self, conditions: Mapping[str, int]) -> np.ndarray:
+        """Tuple ids matching every equality condition, in tid order."""
+        return np.nonzero(self.mask_equal(conditions))[0]
+
+    # ------------------------------------------------------------------
+    # mutation (used by incremental-maintenance experiments)
+    # ------------------------------------------------------------------
+    def append(self, row: Mapping[str, object]) -> int:
+        """Append one tuple, returning its new tid."""
+        selection = np.array(
+            [[int(row[d]) for d in self.schema.selection_dims]], dtype=np.int64
+        )
+        ranking = np.array(
+            [[float(row[d]) for d in self.schema.ranking_dims]], dtype=np.float64
+        )
+        self._selection = np.vstack([self._selection, selection])
+        self._ranking = np.vstack([self._ranking, ranking])
+        return self.num_tuples - 1
+
+    def project(self, selection_dims: Sequence[str],
+                ranking_dims: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Return a new relation containing only the requested dimensions."""
+        sel_idx = [self.schema.selection_index(d) for d in selection_dims]
+        rank_idx = [self.schema.ranking_index(d) for d in ranking_dims]
+        schema = Schema(tuple(selection_dims), tuple(ranking_dims))
+        return Relation(
+            schema,
+            self._selection[:, sel_idx].copy(),
+            self._ranking[:, rank_idx].copy(),
+            name=name or self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Relation(name={self.name!r}, tuples={self.num_tuples}, "
+            f"selection={list(self.selection_dims)}, ranking={list(self.ranking_dims)})"
+        )
+
+
+@dataclass
+class RelationStats:
+    """Summary statistics used by the SPJR query optimizer (Chapter 6)."""
+
+    num_tuples: int
+    cardinalities: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, relation: Relation) -> "RelationStats":
+        """Compute statistics for ``relation``."""
+        cards = {dim: relation.cardinality(dim) for dim in relation.selection_dims}
+        return cls(num_tuples=relation.num_tuples, cardinalities=cards)
+
+    def selectivity(self, conditions: Mapping[str, int]) -> float:
+        """Estimated fraction of tuples surviving the equality conditions."""
+        estimate = 1.0
+        for dim in conditions:
+            card = max(1, self.cardinalities.get(dim, 1))
+            estimate /= card
+        return estimate

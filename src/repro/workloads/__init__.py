@@ -1,0 +1,33 @@
+"""Workload generators: synthetic datasets, query workloads, CoverType surrogate."""
+
+from repro.workloads.covertype import (
+    COVERTYPE_RANKING_CARDINALITIES,
+    COVERTYPE_SELECTION_CARDINALITIES,
+    make_covertype_like,
+)
+from repro.workloads.synthetic import (
+    DISTRIBUTIONS,
+    QuerySpec,
+    SyntheticSpec,
+    generate_queries,
+    generate_relation,
+    make_ranking_function,
+    random_predicate,
+    ranking_dim_names,
+    selection_dim_names,
+)
+
+__all__ = [
+    "COVERTYPE_RANKING_CARDINALITIES",
+    "COVERTYPE_SELECTION_CARDINALITIES",
+    "make_covertype_like",
+    "DISTRIBUTIONS",
+    "QuerySpec",
+    "SyntheticSpec",
+    "generate_queries",
+    "generate_relation",
+    "make_ranking_function",
+    "random_predicate",
+    "ranking_dim_names",
+    "selection_dim_names",
+]

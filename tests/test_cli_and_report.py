@@ -1,0 +1,90 @@
+"""Tests for the CLI, the report generator, and the hierarchical-index helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import build_report, result_to_markdown, run_experiments
+from repro.cli import build_parser, main
+from repro.storage.btree import BPlusTree
+from repro.storage.hierindex import LeafEntry, NodeHandle
+from repro.geometry import Box
+
+
+def tiny_result() -> ExperimentResult:
+    result = ExperimentResult("fig0.1", "toy experiment", "x", ("metric",))
+    result.add("alpha", 1, metric=2.0)
+    result.add("beta", 1, metric=4.0)
+    return result
+
+
+class TestReport:
+    def test_markdown_table(self):
+        markdown = result_to_markdown(tiny_result())
+        assert "### fig0.1" in markdown
+        assert "| alpha | 1 | 2.0000 |" in markdown
+
+    def test_run_experiments_selection_and_progress(self):
+        calls = []
+        registry = {"fig0.1": tiny_result, "fig0.2": tiny_result}
+        results = run_experiments(registry, only=["fig0.2"],
+                                  progress=lambda name, secs: calls.append(name))
+        assert len(results) == 1
+        assert calls == ["fig0.2"]
+        with pytest.raises(KeyError):
+            run_experiments(registry, only=["nope"])
+
+    def test_build_report(self):
+        report = build_report([tiny_result(), tiny_result()], title="Report")
+        assert report.startswith("# Report")
+        assert report.count("### fig0.1") == 2
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3.4" in out and "fig7.6" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "top-5" in out and "block accesses" in out
+
+    def test_run_experiments_unknown_id(self, capsys):
+        assert main(["run-experiments", "--only", "not-a-figure"]) == 2
+
+    def test_run_experiments_to_file(self, tmp_path, monkeypatch, capsys):
+        # Patch the registry so the CLI runs a cheap fake experiment.
+        import repro.bench as bench
+
+        monkeypatch.setattr(bench, "ALL_EXPERIMENTS", {"fig0.1": tiny_result})
+        target = tmp_path / "report.md"
+        assert main(["run-experiments", "--only", "fig0.1",
+                     "--output", str(target)]) == 0
+        assert "### fig0.1" in target.read_text()
+
+
+class TestHierarchicalIndexHelpers:
+    def test_node_handle_and_leaf_entry(self):
+        box = Box.from_bounds(["x"], [0], [1])
+        handle = NodeHandle(page_id=7, box=box, is_leaf=True, level=1, path=(1, 2))
+        assert handle.depth == 2
+        entry = LeafEntry(tid=3, values=(0.5,), position=1)
+        assert entry.as_mapping(["x"]) == {"x": 0.5}
+
+    def test_iter_nodes_and_count(self):
+        values = np.linspace(0, 1, 120)
+        tree = BPlusTree.build("x", values, fanout=8)
+        nodes = list(tree.iter_nodes())
+        assert nodes[0].path == ()
+        assert len(nodes) == tree.node_count()
+        assert tree.count_tuples() == 120
+        leaf_levels = {node.level for node in nodes if node.is_leaf}
+        assert leaf_levels == {1}

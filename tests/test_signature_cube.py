@@ -1,0 +1,158 @@
+"""Tests for the signature ranking cube: construction, queries, maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.functions import (
+    ExpressionFunction,
+    LinearFunction,
+    SquaredDistanceFunction,
+    Var,
+)
+from repro.query import Predicate, TopKQuery
+from repro.signature import SignatureRankingCube, SignatureTopKExecutor
+from repro.workloads import SyntheticSpec, generate_relation
+from tests.conftest import brute_force_topk
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_relation(SyntheticSpec(num_tuples=2500, num_selection_dims=3,
+                                           num_ranking_dims=3, cardinality=7, seed=41))
+
+
+@pytest.fixture(scope="module")
+def cube(relation):
+    return SignatureRankingCube(relation, rtree_max_entries=16)
+
+
+@pytest.fixture(scope="module")
+def executor(cube):
+    return SignatureTopKExecutor(cube)
+
+
+class TestConstruction:
+    def test_atomic_cuboids_by_default(self, relation, cube):
+        assert set(cube.cuboid_dims) == {(d,) for d in relation.selection_dims}
+        # One signature per (dimension, value).
+        expected = sum(relation.cardinality(d) for d in relation.selection_dims)
+        assert cube.stats.num_signatures == expected
+        assert cube.stats.cube_bytes > 0
+        assert cube.stats.num_partial_pages >= expected
+        assert cube.size_in_bytes() == cube.stats.cube_bytes
+
+    def test_cube_smaller_than_rtree(self, cube):
+        assert cube.size_in_bytes() < cube.stats.rtree_bytes
+
+    def test_multidim_cuboid_materialization(self, relation):
+        cube = SignatureRankingCube(relation, cuboid_dims=[("A1", "A2")],
+                                    rtree_max_entries=16)
+        reader = cube.signature_reader(Predicate.of(A1=0, A2=1))
+        assert reader is not None
+
+    def test_empty_cuboid_dims_rejected(self, relation):
+        from repro.errors import CubeError
+        with pytest.raises(CubeError):
+            SignatureRankingCube(relation, cuboid_dims=[()])
+
+    def test_signature_reader_validation(self, cube):
+        assert cube.signature_reader(Predicate.of()) is None
+        with pytest.raises(QueryError):
+            cube.signature_reader(Predicate.of(Z9=1))
+
+
+class TestQueries:
+    @pytest.mark.parametrize("k", [1, 10, 50])
+    def test_linear_matches_oracle(self, relation, cube, executor, k):
+        query = TopKQuery(Predicate.of(A1=3, A2=2),
+                          LinearFunction(["N1", "N2"], [1.0, 3.0]), k)
+        _, expected = brute_force_topk(relation, query)
+        assert executor.query(query).scores == pytest.approx(expected)
+
+    def test_distance_matches_oracle(self, relation, cube, executor):
+        query = TopKQuery(Predicate.of(A3=4),
+                          SquaredDistanceFunction(["N1", "N2", "N3"], [0.5, 0.5, 0.5]),
+                          20)
+        _, expected = brute_force_topk(relation, query)
+        assert executor.query(query).scores == pytest.approx(expected)
+
+    def test_general_function_matches_oracle(self, relation, cube, executor):
+        query = TopKQuery(Predicate.of(A1=1),
+                          ExpressionFunction((Var("N1") - Var("N2") ** 2) ** 2), 10)
+        _, expected = brute_force_topk(relation, query)
+        assert executor.query(query).scores == pytest.approx(expected)
+
+    def test_empty_predicate(self, relation, cube, executor):
+        query = TopKQuery(Predicate.of(), LinearFunction(["N3"], [1.0]), 5)
+        _, expected = brute_force_topk(relation, query)
+        assert executor.query(query).scores == pytest.approx(expected)
+
+    def test_unsatisfiable_predicate(self, relation, cube, executor):
+        query = TopKQuery(Predicate.of(A1=999), LinearFunction(["N1"], [1.0]), 5)
+        assert executor.query(query).tids == ()
+
+    def test_statistics_reported(self, relation, cube, executor):
+        query = TopKQuery(Predicate.of(A1=2, A3=1),
+                          LinearFunction(["N1", "N2"], [1, 1]), 10)
+        result = executor.query(query)
+        assert result.states_generated > 0
+        assert result.peak_heap_size > 0
+        assert "signature_accesses" in result.extra
+        assert "rtree_accesses" in result.extra
+
+
+class TestMaintenance:
+    def _insert_rows(self, relation, count, seed):
+        rng = np.random.default_rng(seed)
+        rows = []
+        for _ in range(count):
+            row = {d: int(rng.integers(0, relation.cardinality(d)))
+                   for d in relation.selection_dims}
+            row.update({d: float(rng.random()) for d in relation.ranking_dims})
+            rows.append(row)
+        return rows
+
+    def test_incremental_insert_keeps_queries_correct(self):
+        relation = generate_relation(SyntheticSpec(
+            num_tuples=800, num_selection_dims=2, num_ranking_dims=2,
+            cardinality=4, seed=55))
+        cube = SignatureRankingCube(relation, rtree_max_entries=8)
+        executor = SignatureTopKExecutor(cube)
+        rows = self._insert_rows(relation, 60, seed=56)
+        report = cube.insert(rows)
+        assert report.tuples_inserted == 60
+        assert report.cells_updated > 0
+        assert report.pages_written > 0
+        assert relation.num_tuples == 860
+        # Some inserts on a small fanout-8 tree must have split nodes.
+        assert report.node_splits > 0
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 15)
+        _, expected = brute_force_topk(relation, query)
+        assert executor.query(query).scores == pytest.approx(expected)
+
+    def test_insert_touches_only_target_cells(self):
+        relation = generate_relation(SyntheticSpec(
+            num_tuples=500, num_selection_dims=2, num_ranking_dims=2,
+            cardinality=10, seed=57))
+        cube = SignatureRankingCube(relation, rtree_max_entries=32)
+        row = {d: 0 for d in relation.selection_dims}
+        row.update({d: 0.5 for d in relation.ranking_dims})
+        report = cube.insert([row])
+        # Without a node split only the two atomic cells of the new tuple's
+        # values are touched (one per boolean dimension).
+        if report.node_splits == 0:
+            assert report.cells_updated == len(relation.selection_dims)
+
+    def test_rebuild_slower_than_incremental(self):
+        relation = generate_relation(SyntheticSpec(
+            num_tuples=1500, num_selection_dims=3, num_ranking_dims=2,
+            cardinality=20, seed=58))
+        cube = SignatureRankingCube(relation, rtree_max_entries=16)
+        rows = self._insert_rows(relation, 5, seed=59)
+        report = cube.insert(rows)
+        rebuild_seconds = cube.rebuild()
+        assert report.elapsed_seconds < rebuild_seconds * 5  # incremental is not worse

@@ -1,0 +1,154 @@
+"""Tests for skyline queries with boolean predicates (Chapter 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query import Predicate, SkylineQuery
+from repro.signature import SignatureRankingCube
+from repro.skyline import (
+    BooleanFirstSkyline,
+    SkylineEngine,
+    SkylineSession,
+    dominated_by_any,
+    dominates,
+    skyline_of,
+    transform_dynamic,
+)
+from repro.skyline.dominance import box_min_corner, mindist
+from repro.geometry import Box
+from repro.workloads import SyntheticSpec, generate_relation
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_relation(SyntheticSpec(num_tuples=2000, num_selection_dims=3,
+                                           num_ranking_dims=3, cardinality=5, seed=81))
+
+
+@pytest.fixture(scope="module")
+def cube(relation):
+    return SignatureRankingCube(relation, rtree_max_entries=16)
+
+
+@pytest.fixture(scope="module")
+def engine(cube):
+    return SkylineEngine(cube)
+
+
+class TestDominance:
+    def test_dominates(self):
+        assert dominates((1, 2), (2, 3))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 2), (1, 2))
+        assert not dominates((1, 4), (2, 3))
+
+    def test_dominated_by_any(self):
+        assert dominated_by_any((2, 2), [(1, 1), (5, 5)])
+        assert not dominated_by_any((0, 0), [(1, 1)])
+
+    def test_skyline_of_small_set(self):
+        points = [(0, (1.0, 5.0)), (1, (2.0, 2.0)), (2, (5.0, 1.0)), (3, (3.0, 3.0))]
+        skyline = skyline_of(points)
+        assert {tid for tid, _ in skyline} == {0, 1, 2}
+
+    def test_transform_dynamic(self):
+        assert transform_dynamic((1.0, 2.0), None) == (1.0, 2.0)
+        assert transform_dynamic((1.0, 2.0), (2.0, 2.0)) == (1.0, 0.0)
+
+    def test_box_min_corner(self):
+        box = Box.from_bounds(["x", "y"], [0.2, 0.4], [0.6, 0.8])
+        assert box_min_corner(box, ["x", "y"]) == (0.2, 0.4)
+        assert box_min_corner(box, ["x", "y"], [0.5, 0.0]) == (0.0, 0.4)
+        assert mindist((0.2, 0.4)) == pytest.approx(0.6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)), min_size=1, max_size=40))
+    def test_skyline_points_are_mutually_non_dominating(self, raw):
+        points = [(i, tuple(v)) for i, v in enumerate(raw)]
+        skyline = skyline_of(points)
+        values = [vals for _, vals in skyline]
+        for i, a in enumerate(values):
+            for j, b in enumerate(values):
+                if i != j:
+                    assert not dominates(a, b)
+        # Every excluded point is dominated by some skyline point.
+        excluded = [vals for _, vals in points if vals not in values]
+        for vals in excluded:
+            assert dominated_by_any(vals, values)
+
+
+class TestSkylineEngine:
+    def test_static_skyline_matches_baseline(self, relation, engine):
+        query = SkylineQuery(Predicate.of(A1=2), ("N1", "N2"))
+        assert engine.query(query).tids == BooleanFirstSkyline(relation).query(query).tids
+
+    def test_three_dim_skyline(self, relation, engine):
+        query = SkylineQuery(Predicate.of(A2=1), ("N1", "N2", "N3"))
+        assert engine.query(query).tids == BooleanFirstSkyline(relation).query(query).tids
+
+    def test_dynamic_skyline_matches_baseline(self, relation, engine):
+        query = SkylineQuery(Predicate.of(A1=1), ("N1", "N2"), (0.5, 0.5))
+        assert engine.query(query).tids == BooleanFirstSkyline(relation).query(query).tids
+
+    def test_multiple_predicates(self, relation, engine):
+        query = SkylineQuery(Predicate.of(A1=3, A3=0), ("N1", "N2"))
+        assert engine.query(query).tids == BooleanFirstSkyline(relation).query(query).tids
+
+    def test_empty_predicate(self, relation, engine):
+        query = SkylineQuery(Predicate.of(), ("N1", "N2"))
+        assert engine.query(query).tids == BooleanFirstSkyline(relation).query(query).tids
+
+    def test_unsatisfiable_predicate(self, relation, engine):
+        query = SkylineQuery(Predicate.of(A1=999), ("N1", "N2"))
+        assert engine.query(query).tids == ()
+
+    def test_engine_without_signature_verifies(self, relation, cube):
+        unsigned = SkylineEngine(cube, use_signature=False)
+        query = SkylineQuery(Predicate.of(A1=2), ("N1", "N2"))
+        assert unsigned.query(query).tids == \
+            BooleanFirstSkyline(relation).query(query).tids
+
+    def test_statistics_reported(self, engine):
+        query = SkylineQuery(Predicate.of(A1=2), ("N1", "N2"))
+        result = engine.query(query)
+        assert result.nodes_expanded > 0
+        assert result.peak_heap_size > 0
+        assert result.disk_accesses >= 0
+        assert len(result) == len(result.tids)
+
+    def test_signature_engine_expands_fewer_nodes(self, relation, cube):
+        signed = SkylineEngine(cube, use_signature=True)
+        unsigned = SkylineEngine(cube, use_signature=False)
+        query = SkylineQuery(Predicate.of(A1=0, A2=0), ("N1", "N2"))
+        assert signed.query(query).nodes_expanded <= unsigned.query(query).nodes_expanded
+
+
+class TestSkylineSession:
+    def test_drill_down_and_roll_up(self, relation, engine):
+        session = SkylineSession(engine)
+        base_query = SkylineQuery(Predicate.of(A1=1), ("N1", "N2"))
+        session.fresh(base_query)
+        drilled = session.drill_down({"A2": 2})
+        expected = BooleanFirstSkyline(relation).query(
+            SkylineQuery(Predicate.of(A1=1, A2=2), ("N1", "N2")))
+        assert drilled.tids == expected.tids
+        rolled = session.roll_up(["A2"])
+        expected_up = BooleanFirstSkyline(relation).query(base_query)
+        assert rolled.tids == expected_up.tids
+
+    def test_navigation_requires_previous_query(self, engine):
+        from repro.errors import QueryError
+        session = SkylineSession(engine)
+        with pytest.raises(QueryError):
+            session.drill_down({"A1": 1})
+        with pytest.raises(QueryError):
+            session.roll_up(["A1"])
+
+    def test_drill_down_reuses_buffers(self, relation, engine):
+        session = SkylineSession(engine)
+        fresh = session.fresh(SkylineQuery(Predicate.of(A1=1), ("N1", "N2", "N3")))
+        drilled = session.drill_down({"A2": 1})
+        assert drilled.disk_accesses <= fresh.disk_accesses

@@ -1,0 +1,141 @@
+"""Tests for Schema / Relation / RelationStats and the query model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.functions import LinearFunction
+from repro.query import Predicate, QueryResult, SkylineQuery, TopKQuery
+from repro.storage.table import Relation, RelationStats, Schema
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    schema = Schema(("A", "B"), ("X", "Y"))
+    selection = np.array([[0, 1], [1, 1], [0, 2], [1, 2]])
+    ranking = np.array([[0.1, 0.9], [0.2, 0.8], [0.3, 0.7], [0.4, 0.6]])
+    return Relation(schema, selection, ranking, name="T")
+
+
+class TestSchema:
+    def test_overlapping_dims_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("A",), ("A",))
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("A", "A"), ("X",))
+        with pytest.raises(SchemaError):
+            Schema(("A",), ("X", "X"))
+
+    def test_lookups(self):
+        schema = Schema(("A", "B"), ("X",))
+        assert schema.selection_index("B") == 1
+        assert schema.ranking_index("X") == 0
+        assert schema.is_selection("A") and not schema.is_selection("X")
+        assert schema.all_dims == ("A", "B", "X")
+        with pytest.raises(SchemaError):
+            schema.selection_index("Z")
+        with pytest.raises(SchemaError):
+            schema.ranking_index("Z")
+
+
+class TestRelation:
+    def test_shape_validation(self):
+        schema = Schema(("A",), ("X",))
+        with pytest.raises(SchemaError):
+            Relation(schema, np.zeros((3, 2)), np.zeros((3, 1)))
+        with pytest.raises(SchemaError):
+            Relation(schema, np.zeros((3, 1)), np.zeros((2, 1)))
+        with pytest.raises(SchemaError):
+            Relation(schema, np.zeros(3), np.zeros((3, 1)))
+
+    def test_columns_and_values(self, relation):
+        assert relation.num_tuples == 4
+        assert len(relation) == 4
+        assert list(relation.selection_column("A")) == [0, 1, 0, 1]
+        assert relation.cardinality("B") == 2
+        assert relation.selection_values(1) == {"A": 1, "B": 1}
+        assert relation.ranking_values(2, ["Y"])[0] == pytest.approx(0.7)
+        assert relation.tuple_dict(0) == {"A": 0, "B": 1, "X": 0.1, "Y": 0.9}
+
+    def test_bulk_values_and_masks(self, relation):
+        block = relation.ranking_values_bulk([0, 3], ["Y", "X"])
+        assert block.shape == (2, 2)
+        assert block[1, 0] == pytest.approx(0.6)
+        mask = relation.mask_equal({"A": 0})
+        assert list(np.nonzero(mask)[0]) == [0, 2]
+        assert list(relation.tids_matching({"A": 1, "B": 2})) == [3]
+
+    def test_from_rows_and_append(self):
+        schema = Schema(("A",), ("X",))
+        relation = Relation.from_rows(schema, [{"A": 1, "X": 0.5}])
+        tid = relation.append({"A": 2, "X": 0.25})
+        assert tid == 1
+        assert relation.num_tuples == 2
+        assert relation.selection_values(1)["A"] == 2
+
+    def test_project(self, relation):
+        projected = relation.project(["B"], ["X"])
+        assert projected.selection_dims == ("B",)
+        assert projected.ranking_dims == ("X",)
+        assert projected.num_tuples == 4
+
+    def test_stats_and_selectivity(self, relation):
+        stats = RelationStats.of(relation)
+        assert stats.num_tuples == 4
+        assert stats.cardinalities == {"A": 2, "B": 2}
+        assert stats.selectivity({"A": 0}) == pytest.approx(0.5)
+        assert stats.selectivity({"A": 0, "B": 1}) == pytest.approx(0.25)
+
+
+class TestQueryModel:
+    def test_predicate_construction(self):
+        pred = Predicate.of({"A": 1}, B=2)
+        assert pred.as_dict == {"A": 1, "B": 2}
+        assert pred.dims == ("A", "B")
+        assert not pred.is_empty()
+        assert len(pred) == 2
+        assert Predicate.of().is_empty()
+
+    def test_predicate_matching_and_restriction(self, relation):
+        pred = Predicate.of(A=1, B=2)
+        assert pred.matches(relation, 3)
+        assert not pred.matches(relation, 0)
+        assert pred.restricted_to(["A"]).as_dict == {"A": 1}
+
+    def test_predicate_validation(self, relation):
+        with pytest.raises(QueryError):
+            Predicate.of(X=1).validate(relation)
+        Predicate.of(A=0).validate(relation)
+
+    def test_topk_query_validation(self, relation):
+        fn = LinearFunction(["X"], [1.0])
+        with pytest.raises(QueryError):
+            TopKQuery(Predicate.of(), fn, 0)
+        query = TopKQuery(Predicate.of(A=0), fn, 2)
+        query.validate(relation)
+        assert query.ranking_dims == ("X",)
+        assert query.selection_dims == ("A",)
+        bad = TopKQuery(Predicate.of(A=0), LinearFunction(["A"], [1.0]), 2)
+        with pytest.raises(QueryError):
+            bad.validate(relation)
+
+    def test_skyline_query_validation(self):
+        with pytest.raises(QueryError):
+            SkylineQuery(Predicate.of(), ())
+        with pytest.raises(QueryError):
+            SkylineQuery(Predicate.of(), ("X", "Y"), (1.0,))
+        dynamic = SkylineQuery(Predicate.of(), ("X",), (0.5,))
+        assert dynamic.is_dynamic
+        static = SkylineQuery(Predicate.of(), ("X",))
+        assert not static.is_dynamic
+
+    def test_query_result_invariants(self):
+        with pytest.raises(QueryError):
+            QueryResult(tids=(1,), scores=())
+        result = QueryResult(tids=(1, 2), scores=(0.1, 0.2))
+        assert result.as_pairs() == ((1, 0.1), (2, 0.2))
+        assert len(result) == 2

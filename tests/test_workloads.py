@@ -1,0 +1,122 @@
+"""Tests for the synthetic / CoverType-like workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.functions import LinearFunction, SquaredDistanceFunction
+from repro.workloads import (
+    COVERTYPE_RANKING_CARDINALITIES,
+    COVERTYPE_SELECTION_CARDINALITIES,
+    QuerySpec,
+    SyntheticSpec,
+    generate_queries,
+    generate_relation,
+    make_covertype_like,
+    make_ranking_function,
+    random_predicate,
+)
+
+
+class TestSyntheticGenerator:
+    def test_shapes_and_ranges(self):
+        spec = SyntheticSpec(num_tuples=500, num_selection_dims=4,
+                             num_ranking_dims=3, cardinality=7, seed=1)
+        relation = generate_relation(spec)
+        assert relation.num_tuples == 500
+        assert len(relation.selection_dims) == 4
+        assert len(relation.ranking_dims) == 3
+        values = relation.ranking_matrix()
+        assert values.min() >= 0.0 and values.max() <= 1.0
+        for dim in relation.selection_dims:
+            assert relation.cardinality(dim) <= 7
+
+    def test_reproducibility(self):
+        spec = SyntheticSpec(num_tuples=100, seed=5)
+        a = generate_relation(spec)
+        b = generate_relation(spec)
+        assert np.array_equal(a.ranking_matrix(), b.ranking_matrix())
+        assert np.array_equal(a.selection_matrix(), b.selection_matrix())
+
+    def test_invalid_distribution(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(distribution="X")
+
+    def test_distributions_differ(self):
+        base = dict(num_tuples=2000, num_selection_dims=1, num_ranking_dims=2, seed=3)
+        uniform = generate_relation(SyntheticSpec(distribution="E", **base))
+        correlated = generate_relation(SyntheticSpec(distribution="C", **base))
+        anti = generate_relation(SyntheticSpec(distribution="A", **base))
+        def corr(rel):
+            m = rel.ranking_matrix()
+            return np.corrcoef(m[:, 0], m[:, 1])[0, 1]
+        assert corr(correlated) > 0.5
+        assert corr(anti) < corr(correlated)
+        assert abs(corr(uniform)) < 0.2
+
+    def test_cardinality_override(self):
+        spec = SyntheticSpec(num_tuples=300, num_selection_dims=2, cardinality=5)
+        relation = generate_relation(spec, cardinalities=[2, 50])
+        assert relation.cardinality("A1") <= 2
+        assert relation.cardinality("A2") > 10
+        with pytest.raises(ValueError):
+            generate_relation(spec, cardinalities=[2])
+
+
+class TestQueryGenerator:
+    def test_generate_queries(self):
+        relation = generate_relation(SyntheticSpec(num_tuples=400, seed=2))
+        queries = generate_queries(relation, QuerySpec(k=5, num_selection_conditions=2,
+                                                       num_ranking_dims=2), count=7)
+        assert len(queries) == 7
+        for query in queries:
+            assert query.k == 5
+            assert len(query.predicate) == 2
+            query.validate(relation)
+            # Predicate values exist in the data, so queries are satisfiable.
+            assert len(relation.tids_matching(query.predicate.as_dict)) >= 0
+
+    def test_too_many_conditions_rejected(self):
+        relation = generate_relation(SyntheticSpec(num_tuples=100, num_selection_dims=2))
+        with pytest.raises(QueryError):
+            generate_queries(relation, QuerySpec(num_selection_conditions=5))
+        with pytest.raises(QueryError):
+            generate_queries(relation, QuerySpec(num_ranking_dims=9))
+
+    def test_make_ranking_function(self):
+        linear = make_ranking_function(["N1", "N2"], "linear", 3.0)
+        assert isinstance(linear, LinearFunction)
+        distance = make_ranking_function(["N1"], "distance", 1.0)
+        assert isinstance(distance, SquaredDistanceFunction)
+        with pytest.raises(QueryError):
+            make_ranking_function(["N1"], "mystery", 1.0)
+
+    def test_random_predicate_is_satisfiable(self):
+        relation = generate_relation(SyntheticSpec(num_tuples=300, seed=4))
+        predicate = random_predicate(relation, 2)
+        assert len(relation.tids_matching(predicate.as_dict)) >= 1
+
+
+class TestCovertypeSurrogate:
+    def test_schema_shape(self):
+        relation = make_covertype_like(num_tuples=2000)
+        assert len(relation.selection_dims) == len(COVERTYPE_SELECTION_CARDINALITIES)
+        assert len(relation.ranking_dims) == len(COVERTYPE_RANKING_CARDINALITIES)
+        assert relation.num_tuples == 2000
+        # Low-cardinality binary attributes stay binary.
+        assert relation.cardinality("A12") <= 2
+        # High-cardinality attributes stay high-cardinality (within sample size).
+        assert relation.cardinality("A1") > 50
+
+    def test_ranking_values_are_correlated_and_bounded(self):
+        relation = make_covertype_like(num_tuples=3000, seed=1)
+        matrix = relation.ranking_matrix()
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+        assert np.corrcoef(matrix[:, 0], matrix[:, 1])[0, 1] > 0.3
+
+    def test_reproducible(self):
+        a = make_covertype_like(num_tuples=500, seed=9)
+        b = make_covertype_like(num_tuples=500, seed=9)
+        assert np.array_equal(a.ranking_matrix(), b.ranking_matrix())
