@@ -25,6 +25,10 @@ Sub-packages
     Chapter 6: SPJR (select-project-join-rank) queries over multiple relations.
 ``repro.skyline``
     Chapter 7: skyline and dynamic-skyline queries with boolean predicates.
+``repro.engine``
+    The unified query-engine layer: a registry of named backends over all
+    of the above, an explainable planner, and the ``Executor`` front door
+    with batch execution and a shared lower-bound cache.
 ``repro.baselines``
     The comparison methods of the evaluation (table scan, boolean-first,
     ranking-first, rank mapping, threshold algorithm).

@@ -53,22 +53,28 @@ def _cmd_run_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(_: argparse.Namespace) -> int:
-    from repro.cube import RankingCube
+    from repro.engine import Executor
     from repro.functions import LinearFunction
-    from repro.query import Predicate, TopKQuery
+    from repro.query import Predicate, SkylineQuery, TopKQuery
     from repro.workloads import SyntheticSpec, generate_relation
 
     relation = generate_relation(SyntheticSpec(num_tuples=5000, num_selection_dims=3,
                                                num_ranking_dims=2, cardinality=10))
-    cube = RankingCube(relation, block_size=200)
+    executor = Executor.for_relation(relation, block_size=200)
     query = TopKQuery(Predicate.of(A1=1, A2=2),
                       LinearFunction(["N1", "N2"], [1.0, 1.0]), 5)
-    result = cube.query(query)
+    result = executor.execute(query)
     print("top-5 for A1=1 and A2=2 order by N1+N2:")
     for tid, score in result.as_pairs():
         print(f"  tid={tid} score={score:.4f}")
+    print(f"backend: {result.backend}")
+    print(f"plan: {result.plan}")
     print(f"{result.disk_accesses} block accesses, "
           f"{result.states_generated} blocks examined")
+
+    skyline = executor.execute(SkylineQuery(Predicate.of(A1=1), ("N1", "N2")))
+    print(f"skyline for A1=1 over (N1, N2): {len(skyline)} points "
+          f"via {skyline.backend}")
     return 0
 
 

@@ -38,6 +38,7 @@ class BaseBlockTable:
             raise CubeError("bids must assign a block to every tuple")
         self.bids = bids
         self._block_pages: Dict[int, int] = {}
+        self._row_index: Dict[int, Dict[int, int]] = {}
         self._build()
 
     def _build(self) -> None:
@@ -52,25 +53,52 @@ class BaseBlockTable:
             if start == end:
                 continue
             bid = int(sorted_bids[start])
-            tids = order[start:end]
-            payload = [
-                (int(tid), tuple(values[tid].tolist())) for tid in tids
-            ]
-            self._block_pages[bid] = self.pager.allocate(payload)
+            tids = np.ascontiguousarray(order[start:end], dtype=np.int64)
+            block_values = np.ascontiguousarray(values[tids], dtype=np.float64)
+            self._block_pages[bid] = self.pager.allocate((tids, block_values))
+            self._row_index[bid] = {int(tid): row for row, tid in enumerate(tids)}
 
     # ------------------------------------------------------------------
     # data access methods
     # ------------------------------------------------------------------
-    def get_base_block(self, bid: int) -> List[Tuple[int, Tuple[float, ...]]]:
-        """``get_base_block``: tids and ranking values of one base block.
+    def block_arrays(self, bid: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``get_base_block`` in columnar form: ``(tids, values)`` arrays.
 
-        Reads one page through the buffer pool (counts a disk access on a
-        miss); an unknown / empty block returns an empty list for free.
+        ``tids`` has shape ``(n,)`` and ``values`` shape ``(n, len(dims))``;
+        both are contiguous so ranking functions can score the whole block
+        with one vectorized call.  Reads one page through the buffer pool
+        (counts a disk access on a miss); an unknown / empty block returns
+        empty arrays for free.
         """
         page_id = self._block_pages.get(int(bid))
         if page_id is None:
-            return []
+            return (np.empty(0, dtype=np.int64),
+                    np.empty((0, len(self.dims)), dtype=np.float64))
         return self.buffer.read(page_id)
+
+    def get_base_block(self, bid: int) -> List[Tuple[int, Tuple[float, ...]]]:
+        """``get_base_block``: tids and ranking values of one base block.
+
+        Row-wise view kept for callers that want python objects; costs the
+        same single (possibly buffered) page read as :meth:`block_arrays`.
+        """
+        tids, values = self.block_arrays(bid)
+        return [
+            (int(tid), tuple(row.tolist())) for tid, row in zip(tids, values)
+        ]
+
+    def block_tids(self, bid: int) -> List[int]:
+        """Tids of one base block (single page read, like ``get_base_block``)."""
+        tids, _ = self.block_arrays(bid)
+        return [int(tid) for tid in tids]
+
+    def block_row_index(self, bid: int) -> Dict[int, int]:
+        """``{tid: row}`` positions inside :meth:`block_arrays` of ``bid``.
+
+        Derived metadata built during construction (no I/O is charged): the
+        table is immutable, so the mapping never goes stale.
+        """
+        return self._row_index.get(int(bid), {})
 
     def block_values(self, bid: int) -> Dict[int, Tuple[float, ...]]:
         """The same block as a ``{tid: values}`` dict."""

@@ -78,7 +78,7 @@ class UnfilteredCellProvider(CellProvider):
         self.block_table = block_table
 
     def tids_in_block(self, bid: int) -> List[int]:
-        return [tid for tid, _ in self.block_table.get_base_block(bid)]
+        return self.block_table.block_tids(bid)
 
     def reset(self) -> None:
         pass

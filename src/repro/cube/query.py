@@ -15,6 +15,8 @@ import heapq
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.cube.blocktable import BaseBlockTable
 from repro.cube.providers import CellProvider
 from repro.errors import QueryError
@@ -85,11 +87,25 @@ def find_start_block(grid: GridPartition, function: RankingFunction) -> int:
 
 
 class GridTopKExecutor:
-    """Runs one top-k query against a grid ranking cube."""
+    """Runs one top-k query against a grid ranking cube.
 
-    def __init__(self, grid: GridPartition, block_table: BaseBlockTable) -> None:
+    ``bound_cache`` is an optional per-(function, block) lower-bound cache
+    (duck-typed: anything with ``lower_bound(grid, function, bid)``, see
+    :class:`repro.engine.cache.LowerBoundCache`).  Bounds depend only on the
+    function and the block geometry, so they can be shared across every
+    query in a workload that reuses the same function.
+    """
+
+    def __init__(self, grid: GridPartition, block_table: BaseBlockTable,
+                 bound_cache=None) -> None:
         self.grid = grid
         self.block_table = block_table
+        self.bound_cache = bound_cache
+
+    def _block_bound(self, function: RankingFunction, bid: int) -> float:
+        if self.bound_cache is not None:
+            return self.bound_cache.lower_bound(self.grid, function, bid)
+        return function.lower_bound(self.grid.block_box(bid))
 
     def execute(self, provider: CellProvider, function: RankingFunction, k: int,
                 ) -> QueryResult:
@@ -117,9 +133,10 @@ class GridTopKExecutor:
         blocks_examined = 0
         peak_frontier = 0
         tuples_evaluated = 0
+        dim_index = [self.grid.dims.index(d) for d in function.dims]
+        whole_grid = dim_index == list(range(len(self.grid.dims)))
 
-        heapq.heappush(
-            frontier, (function.lower_bound(self.grid.block_box(start_bid)), start_bid))
+        heapq.heappush(frontier, (self._block_bound(function, start_bid), start_bid))
         inserted.add(start_bid)
 
         while frontier:
@@ -132,21 +149,28 @@ class GridTopKExecutor:
 
             tids = provider.tids_in_block(bid)
             if tids:
-                values = self.block_table.block_values(bid)
-                dim_index = [self.grid.dims.index(d) for d in function.dims]
-                for tid in tids:
-                    point = values.get(tid)
-                    if point is None:
-                        continue
-                    score = function.evaluate([point[i] for i in dim_index])
-                    topk.offer(tid, score)
-                    tuples_evaluated += 1
+                block_tids, block_values = self.block_table.block_arrays(bid)
+                if len(tids) == len(block_tids) and np.array_equal(tids, block_tids):
+                    # Unfiltered block: every row qualifies, in page order.
+                    kept = tids
+                    selected = block_values
+                else:
+                    row_of = self.block_table.block_row_index(bid)
+                    kept = [tid for tid in tids if tid in row_of]
+                    selected = block_values[[row_of[tid] for tid in kept]]
+                if kept:
+                    if not whole_grid:
+                        selected = selected[:, dim_index]
+                    scores = function.evaluate_batch(selected)
+                    for tid, score in zip(kept, scores):
+                        topk.offer(tid, float(score))
+                    tuples_evaluated += len(kept)
 
             for neighbor in self.grid.neighbors(bid):
                 if neighbor in inserted:
                     continue
                 inserted.add(neighbor)
-                bound = function.lower_bound(self.grid.block_box(neighbor))
+                bound = self._block_bound(function, neighbor)
                 heapq.heappush(frontier, (bound, neighbor))
 
         elapsed = time.perf_counter() - start_time

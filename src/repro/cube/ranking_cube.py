@@ -13,10 +13,7 @@ online (Section 3.4.2).
 from __future__ import annotations
 
 import itertools
-import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
 
 from repro.cube.blocktable import BaseBlockTable
 from repro.cube.model import Cuboid
@@ -54,6 +51,7 @@ class RankingCube:
         grid: Optional[GridPartition] = None,
         pager: Optional[Pager] = None,
         buffer_capacity: int = 256,
+        bound_cache=None,
     ) -> None:
         self.relation = relation
         self.block_size = block_size
@@ -71,7 +69,9 @@ class RankingCube:
                 raise CubeError("cuboid dimension sets must be non-empty")
             self.cuboids[key] = Cuboid(key, relation, self.grid, bids, self.pager,
                                        buffer_capacity=buffer_capacity)
-        self._executor = GridTopKExecutor(self.grid, self.block_table)
+        self._executor = GridTopKExecutor(self.grid, self.block_table,
+                                          bound_cache=bound_cache)
+        self._cover_memo: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
 
     # ------------------------------------------------------------------
     # covering-cuboid selection (Section 3.4.2, minmax criterion)
@@ -81,8 +81,15 @@ class RankingCube:
 
         Only cuboids whose dimensions are a subset of the query dimensions
         are usable.  Among those, maximal ones are preferred and a greedy
-        minimum cover is selected.
+        minimum cover is selected.  The materialized cuboid set is fixed
+        after construction, so covers are memoized per dimension set — the
+        engine consults this several times per routed query (supports,
+        plan details, execution) for the price of one computation.
         """
+        memo_key = tuple(sorted(set(query_dims)))
+        cached = self._cover_memo.get(memo_key)
+        if cached is not None:
+            return list(cached)
         target: Set[str] = set(query_dims)
         if not target:
             return []
@@ -105,12 +112,19 @@ class RankingCube:
                     f"query dimensions {sorted(uncovered)} are not covered by any cuboid")
             chosen.append(best)
             uncovered -= gain
-        return chosen
+        self._cover_memo[memo_key] = chosen
+        return list(chosen)
 
-    def provider_for(self, predicate: Predicate) -> CellProvider:
-        """Build the cell provider answering ``predicate``."""
+    def plan_for(self, predicate: Predicate
+                 ) -> Tuple[CellProvider, List[Tuple[str, ...]]]:
+        """Plan ``predicate`` access: the cell provider plus the chosen cuboids.
+
+        The covering-cuboid selection runs exactly once; callers that also
+        want the chosen cuboids (statistics, the engine planner) reuse the
+        same plan instead of re-deriving it.
+        """
         if predicate.is_empty():
-            return UnfilteredCellProvider(self.block_table)
+            return UnfilteredCellProvider(self.block_table), []
         conditions = predicate.as_dict
         chosen = self.covering_cuboids(predicate.dims)
         providers: List[CellProvider] = []
@@ -119,8 +133,13 @@ class RankingCube:
             cell = cuboid.cell_of_predicate(conditions)
             providers.append(CuboidCellProvider(cuboid, cell))
         if len(providers) == 1:
-            return providers[0]
-        return IntersectionCellProvider(providers)
+            return providers[0], chosen
+        return IntersectionCellProvider(providers), chosen
+
+    def provider_for(self, predicate: Predicate) -> CellProvider:
+        """Build the cell provider answering ``predicate``."""
+        provider, _ = self.plan_for(predicate)
+        return provider
 
     # ------------------------------------------------------------------
     # query execution
@@ -128,11 +147,14 @@ class RankingCube:
     def query(self, query: TopKQuery) -> QueryResult:
         """Answer one top-k query using the materialized cube."""
         query.validate(self.relation)
-        provider = self.provider_for(query.predicate)
+        provider, chosen = self.plan_for(query.predicate)
         result = self._executor.execute(provider, query.function, query.k)
-        result.extra["covering_cuboids"] = float(
-            1 if query.predicate.is_empty() else len(self.covering_cuboids(query.predicate.dims)))
+        result.extra["covering_cuboids"] = float(len(chosen) if chosen else 1)
         return result
+
+    def attach_bound_cache(self, bound_cache) -> None:
+        """Share a per-(function, block) lower-bound cache with the executor."""
+        self._executor.bound_cache = bound_cache
 
     def top_k(self, predicate: Predicate, function, k: int) -> QueryResult:
         """Convenience wrapper building the :class:`TopKQuery` for the caller."""

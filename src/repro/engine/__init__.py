@@ -1,0 +1,91 @@
+"""Unified query-engine layer: registry, planner, and execution front door.
+
+The library implements five execution paths for the same query model —
+grid ranking cube and ranking fragments (Chapter 3), the signature ranking
+cube (Chapter 4), index-merge joins (Chapters 5–6), skylines (Chapter 7),
+and the scan baselines.  This package puts one front door in front of all
+of them:
+
+* :class:`EngineRegistry` — named, pluggable backends
+  (:class:`~repro.engine.registry.Backend` adapters live in
+  :mod:`repro.engine.backends`);
+* :class:`Planner` — inspects a query (predicate dimensions, ranking
+  function shape, ``k``, available covering cuboids) and produces an
+  explainable :class:`QueryPlan`;
+* :class:`Executor` — ``execute(query)`` / ``execute_many(queries)`` plus a
+  :class:`LowerBoundCache` of per-(function, block) bounds shared across
+  every query of a workload.
+
+Results carry their routing: ``result.extra["backend"]`` names the engine
+that ran the query and ``result.extra["plan"]`` holds the planner's
+one-line explanation.
+
+Usage
+-----
+Build the default stack for a relation and run queries of any kind through
+one object::
+
+    from repro.engine import Executor
+    from repro.functions import LinearFunction
+    from repro.query import Predicate, SkylineQuery, TopKQuery
+
+    executor = Executor.for_relation(relation)
+
+    topk = executor.execute(
+        TopKQuery(Predicate.of(A1=1), LinearFunction(["N1", "N2"], [1, 2]), 10))
+    print(topk.extra["backend"])          # 'ranking-cube'
+    print(topk.extra["plan"])             # why it was routed there
+
+    sky = executor.execute(SkylineQuery(Predicate.of(A1=1), ("N1", "N2")))
+    print(sky.extra["backend"])           # 'skyline'
+
+    batch = executor.execute_many(queries)   # shares block lower bounds
+    print(executor.cache_stats())            # {'hit_rate': ..., ...}
+
+Custom stacks register backends explicitly::
+
+    from repro.engine import EngineRegistry, Executor
+    from repro.engine.backends import RankingCubeBackend, TableScanBackend
+
+    executor = Executor()
+    executor.register(RankingCubeBackend(my_cube))
+    executor.register(TableScanBackend(my_scanner))
+    print(executor.explain(query))
+
+Multi-relation ranked joins plug in through
+:meth:`Executor.register_join_system` (or :meth:`Executor.for_system`),
+routing :class:`repro.joins.SPJRQuery` objects to the index-merge backend.
+"""
+
+from repro.engine.backends import (
+    IndexMergeBackend,
+    RankingCubeBackend,
+    SignatureCubeBackend,
+    SkylineBackend,
+    SkylineScanBackend,
+    TableScanBackend,
+)
+from repro.engine.cache import LowerBoundCache
+from repro.engine.executor import Executor
+from repro.engine.plan import KIND_JOIN, KIND_SKYLINE, KIND_TOPK, QueryPlan
+from repro.engine.planner import Planner
+from repro.engine.registry import Backend, EngineRegistry, kind_of
+
+__all__ = [
+    "Backend",
+    "EngineRegistry",
+    "Executor",
+    "IndexMergeBackend",
+    "KIND_JOIN",
+    "KIND_SKYLINE",
+    "KIND_TOPK",
+    "LowerBoundCache",
+    "Planner",
+    "QueryPlan",
+    "RankingCubeBackend",
+    "SignatureCubeBackend",
+    "SkylineBackend",
+    "SkylineScanBackend",
+    "TableScanBackend",
+    "kind_of",
+]

@@ -1,0 +1,202 @@
+"""Backend adapters wrapping every execution engine in the library.
+
+Each adapter implements the small :class:`repro.engine.registry.Backend`
+interface over an already-built engine object: the grid ranking cube (or its
+ranking-fragments variant), the signature ranking cube, the skyline engines,
+the SPJR index-merge join system, and the table-scan fallback.  ``supports``
+checks are conservative and never raise — a backend that cannot answer a
+query simply drops out of the candidate list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.query import Predicate, SkylineQuery, TopKQuery
+from repro.storage.table import Relation
+
+from repro.engine.plan import KIND_JOIN, KIND_SKYLINE, KIND_TOPK
+from repro.engine.registry import Backend
+
+
+def _predicate_valid(predicate: Predicate, relation: Relation) -> bool:
+    return all(relation.schema.is_selection(dim) for dim in predicate.dims)
+
+
+def _function_valid(function, relation: Relation) -> bool:
+    return all(relation.schema.is_ranking(dim) for dim in function.dims)
+
+
+class RankingCubeBackend(Backend):
+    """Grid ranking cube (Chapter 3) — also serves the fragments variant."""
+
+    kind = KIND_TOPK
+
+    def __init__(self, cube, name: str = "ranking-cube", priority: int = 10) -> None:
+        self.cube = cube
+        self.name = name
+        self.priority = priority
+
+    def supports(self, query) -> bool:
+        if not isinstance(query, TopKQuery):
+            return False
+        if not _predicate_valid(query.predicate, self.cube.relation):
+            return False
+        if not all(dim in self.cube.grid.dims for dim in query.function.dims):
+            return False
+        if query.predicate.is_empty():
+            return True
+        try:
+            return bool(self.cube.covering_cuboids(query.predicate.dims))
+        except Exception:
+            return False
+
+    def plan_details(self, query) -> Dict[str, object]:
+        if query.predicate.is_empty():
+            return {"covering_cuboids": "none (empty predicate)"}
+        chosen = self.cube.covering_cuboids(query.predicate.dims)
+        return {"covering_cuboids": ",".join("+".join(dims) for dims in chosen)}
+
+    def attach_bound_cache(self, bound_cache) -> None:
+        self.cube.attach_bound_cache(bound_cache)
+
+    def run(self, query):
+        return self.cube.query(query)
+
+
+class SignatureCubeBackend(Backend):
+    """Signature ranking cube with branch-and-bound search (Chapter 4)."""
+
+    kind = KIND_TOPK
+
+    def __init__(self, executor, name: str = "signature-cube",
+                 priority: int = 20) -> None:
+        # ``executor`` is a repro.signature.SignatureTopKExecutor.
+        self.executor = executor
+        self.cube = executor.cube
+        self.name = name
+        self.priority = priority
+
+    def _covers_predicate(self, predicate: Predicate) -> bool:
+        if predicate.is_empty():
+            return True
+        exact = tuple(sorted(predicate.dims))
+        if any(tuple(sorted(dims)) == exact for dims in self.cube.cuboid_dims):
+            return True
+        return all((dim,) in self.cube.cuboid_dims for dim in predicate.dims)
+
+    def supports(self, query) -> bool:
+        if not isinstance(query, TopKQuery):
+            return False
+        if not _predicate_valid(query.predicate, self.cube.relation):
+            return False
+        if not all(dim in self.cube.rtree.dims for dim in query.function.dims):
+            return False
+        return self._covers_predicate(query.predicate)
+
+    def plan_details(self, query) -> Dict[str, object]:
+        return {"rtree_dims": ",".join(self.cube.rtree.dims)}
+
+    def run(self, query):
+        return self.executor.query(query)
+
+
+class TableScanBackend(Backend):
+    """Sequential-scan fallback (``TS``): always applicable, never fast."""
+
+    kind = KIND_TOPK
+
+    def __init__(self, scanner, name: str = "table-scan", priority: int = 90) -> None:
+        # ``scanner`` is a repro.baselines.TableScanTopK.
+        self.scanner = scanner
+        self.name = name
+        self.priority = priority
+
+    def supports(self, query) -> bool:
+        return (isinstance(query, TopKQuery)
+                and _predicate_valid(query.predicate, self.scanner.relation)
+                and _function_valid(query.function, self.scanner.relation))
+
+    def run(self, query):
+        return self.scanner.query(query)
+
+
+class SkylineBackend(Backend):
+    """Signature-pruned BBS skyline engine (Chapter 7)."""
+
+    kind = KIND_SKYLINE
+
+    def __init__(self, engine, name: str = "skyline", priority: int = 10) -> None:
+        # ``engine`` is a repro.skyline.SkylineEngine.
+        self.engine = engine
+        self.name = name
+        self.priority = priority
+
+    def supports(self, query) -> bool:
+        if not isinstance(query, SkylineQuery):
+            return False
+        if not _predicate_valid(query.predicate, self.engine.relation):
+            return False
+        return all(dim in self.engine.rtree.dims for dim in query.preference_dims)
+
+    def plan_details(self, query) -> Dict[str, object]:
+        return {
+            "dynamic": query.is_dynamic,
+            "signature_pruning": self.engine.use_signature,
+        }
+
+    def run(self, query):
+        return self.engine.query(query)
+
+
+class SkylineScanBackend(Backend):
+    """Boolean-first block-nested-loop skyline fallback."""
+
+    kind = KIND_SKYLINE
+
+    def __init__(self, engine, name: str = "skyline-scan", priority: int = 90) -> None:
+        # ``engine`` is a repro.skyline.BooleanFirstSkyline.
+        self.engine = engine
+        self.name = name
+        self.priority = priority
+
+    def supports(self, query) -> bool:
+        if not isinstance(query, SkylineQuery):
+            return False
+        if not _predicate_valid(query.predicate, self.engine.relation):
+            return False
+        return all(self.engine.relation.schema.is_ranking(dim)
+                   for dim in query.preference_dims)
+
+    def run(self, query):
+        return self.engine.query(query)
+
+
+class IndexMergeBackend(Backend):
+    """Multi-relation ranked joins via index merging (Chapters 5–6)."""
+
+    kind = KIND_JOIN
+
+    def __init__(self, system, name: str = "index-merge", priority: int = 10) -> None:
+        # ``system`` is a repro.joins.RankingCubeJoinSystem.
+        self.system = system
+        self.name = name
+        self.priority = priority
+
+    def supports(self, query) -> bool:
+        if not (hasattr(query, "terms") and hasattr(query, "joins")):
+            return False
+        return all(term.relation.name in self.system.relations
+                   for term in query.terms)
+
+    def plan_details(self, query) -> Dict[str, object]:
+        try:
+            plan = self.system.plan(query)
+        except Exception:
+            return {}
+        access = ",".join(
+            f"{name}:{plan.plan_for(name).access}" for name in plan.order)
+        return {"join_order": "->".join(plan.order), "access": access}
+
+    def run(self, query):
+        return self.system.query(query)

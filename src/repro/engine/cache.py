@@ -1,0 +1,72 @@
+"""Shared per-(function, block) lower-bound cache.
+
+The grid query algorithm spends a large share of its work computing
+``function.lower_bound(block_box)`` for every frontier block.  The bound
+depends only on the function and the block's geometry — not on the query's
+predicate or ``k`` — so a workload that reuses ranking functions (the
+batch API, benchmark sweeps, repeated user queries) can share bounds across
+queries.  :class:`LowerBoundCache` memoizes them with an LRU policy.
+
+The cache keys on object identity of the grid and the function.  Each
+entry holds a strong reference to the objects it keys on, so an ``id()``
+recycled by the allocator can never alias a live entry — and eviction
+releases the references along with the bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+
+class LowerBoundCache:
+    """LRU cache of block lower bounds, shared across queries.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached bounds; ``<= 0`` means unbounded.
+    """
+
+    def __init__(self, max_entries: int = 262144) -> None:
+        self.max_entries = max_entries
+        # key -> (bound, grid, function): the pinned objects live and die
+        # with their entry.
+        self._bounds: "OrderedDict[Tuple[int, int, int], Tuple[float, object, object]]" \
+            = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lower_bound(self, grid, function, bid: int) -> float:
+        """Lower bound of ``function`` over block ``bid`` of ``grid``."""
+        key = (id(grid), id(function), int(bid))
+        cached = self._bounds.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._bounds.move_to_end(key)
+            return cached[0]
+        self.misses += 1
+        bound = float(function.lower_bound(grid.block_box(bid)))
+        self._bounds[key] = (bound, grid, function)
+        if self.max_entries > 0:
+            while len(self._bounds) > self.max_entries:
+                self._bounds.popitem(last=False)
+        return bound
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every cached bound and release the pinned objects."""
+        self._bounds.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters without dropping cached bounds."""
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._bounds)

@@ -1,0 +1,153 @@
+"""The engine front door: plan, route, execute, and batch queries.
+
+:class:`Executor` is the single entry point the rest of the system (CLI,
+examples, services) talks to.  It owns an :class:`EngineRegistry`, a
+:class:`Planner` over it, and one :class:`LowerBoundCache` shared by every
+registered backend that can use it — so a batch of queries reusing the same
+ranking function never re-derives a block bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.storage.table import Relation
+
+from repro.engine.backends import (
+    IndexMergeBackend,
+    RankingCubeBackend,
+    SignatureCubeBackend,
+    SkylineBackend,
+    SkylineScanBackend,
+    TableScanBackend,
+)
+from repro.engine.cache import LowerBoundCache
+from repro.engine.plan import QueryPlan
+from repro.engine.planner import Planner
+from repro.engine.registry import Backend, EngineRegistry
+
+
+class Executor:
+    """Front door over the registry/planner with a shared bound cache."""
+
+    def __init__(self, registry: Optional[EngineRegistry] = None,
+                 planner: Optional[Planner] = None,
+                 bound_cache: Optional[LowerBoundCache] = None) -> None:
+        self.registry = registry or EngineRegistry()
+        self.planner = planner or Planner(self.registry)
+        self.bound_cache = bound_cache or LowerBoundCache()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, backend: Backend, replace: bool = False) -> Backend:
+        """Register a backend and hand it the shared lower-bound cache."""
+        self.registry.register(backend, replace=replace)
+        backend.attach_bound_cache(self.bound_cache)
+        return backend
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def plan(self, query) -> QueryPlan:
+        """Expose the planner's routing decision without executing."""
+        return self.planner.plan(query)
+
+    def explain(self, query) -> str:
+        """One-line explanation of how ``query`` would be routed."""
+        return self.planner.explain(query)
+
+    def execute(self, query):
+        """Plan ``query``, run it on the chosen backend, annotate the result."""
+        plan = self.planner.plan(query)
+        backend = self.registry.get(plan.backend)
+        result = backend.run(query)
+        result.extra["backend"] = plan.backend
+        result.extra["plan"] = plan.describe()
+        return result
+
+    def execute_many(self, queries: Iterable) -> List:
+        """Execute a batch of queries, sharing plans' lower-bound work.
+
+        Results come back in submission order.  The shared
+        :class:`LowerBoundCache` turns repeated (function, block) bound
+        computations across the batch into dictionary hits.
+        """
+        return [self.execute(query) for query in queries]
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss statistics of the shared lower-bound cache."""
+        return {
+            "entries": float(len(self.bound_cache)),
+            "hits": float(self.bound_cache.hits),
+            "misses": float(self.bound_cache.misses),
+            "hit_rate": self.bound_cache.hit_rate,
+        }
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_relation(cls, relation: Relation, *, block_size: int = 300,
+                     rtree_max_entries: int = 32,
+                     include_fragments: bool = False,
+                     fragment_size: int = 2,
+                     with_signature: bool = True,
+                     with_skyline: bool = True) -> "Executor":
+        """Build the default single-relation engine stack.
+
+        Registers the grid ranking cube (preferred for top-k) and the
+        table-scan fallback; by default also the signature ranking cube and
+        both skyline engines.  Callers that only run grid top-k queries can
+        pass ``with_signature=False, with_skyline=False`` to skip the
+        R-tree / signature construction cost entirely.
+        ``include_fragments`` additionally registers the ranking-fragments
+        variant of the cube under the name ``"fragments"``.
+        """
+        from repro.baselines import TableScanTopK
+        from repro.cube import RankingCube, build_ranking_fragments
+
+        executor = cls()
+        cube = RankingCube(relation, block_size=block_size)
+        executor.register(RankingCubeBackend(cube))
+        if include_fragments:
+            fragments = build_ranking_fragments(
+                relation, fragment_size=fragment_size, block_size=block_size)
+            executor.register(
+                RankingCubeBackend(fragments, name="fragments", priority=15))
+        if with_signature or with_skyline:
+            from repro.signature import SignatureRankingCube, SignatureTopKExecutor
+
+            signature = SignatureRankingCube(relation,
+                                             rtree_max_entries=rtree_max_entries)
+            if with_signature:
+                executor.register(
+                    SignatureCubeBackend(SignatureTopKExecutor(signature)))
+        executor.register(TableScanBackend(TableScanTopK(relation)))
+        if with_skyline:
+            from repro.skyline import BooleanFirstSkyline, SkylineEngine
+
+            executor.register(SkylineBackend(SkylineEngine(signature)))
+            executor.register(SkylineScanBackend(BooleanFirstSkyline(relation)))
+        return executor
+
+    def register_join_system(self, system, name: str = "index-merge") -> Backend:
+        """Register a multi-relation join system as the ``join`` backend."""
+        return self.register(IndexMergeBackend(system, name=name))
+
+    @classmethod
+    def for_system(cls, relations: Sequence[Relation], *,
+                   rtree_max_entries: int = 32) -> "Executor":
+        """Engine stack over several relations, including ranked joins.
+
+        Single-relation backends are built for the first relation; the join
+        backend spans all of them.
+        """
+        from repro.joins import RankingCubeJoinSystem
+
+        executor = cls.for_relation(relations[0],
+                                    rtree_max_entries=rtree_max_entries)
+        system = RankingCubeJoinSystem(relations,
+                                       rtree_max_entries=rtree_max_entries)
+        executor.register_join_system(system)
+        return executor

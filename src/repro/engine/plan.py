@@ -1,0 +1,51 @@
+"""Explainable query plans produced by the engine planner.
+
+A :class:`QueryPlan` records which backend was chosen for a query, why, and
+the plan-relevant properties the planner inspected (predicate dimensions,
+ranking-function shape, covering cuboids, ...).  Plans are plain data: the
+:class:`repro.engine.Executor` attaches their description to the result's
+``extra`` so every answer can explain how it was computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Query kinds the engine routes.
+KIND_TOPK = "topk"
+KIND_SKYLINE = "skyline"
+KIND_JOIN = "join"
+
+
+@dataclass
+class QueryPlan:
+    """One routing decision: backend, rationale, and inspected properties."""
+
+    backend: str
+    query_kind: str
+    reason: str
+    details: Dict[str, object] = field(default_factory=dict)
+    candidates: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Single-line human-readable plan, e.g. for ``extra['plan']``."""
+        parts = [f"backend={self.backend}", f"kind={self.query_kind}"]
+        for key in sorted(self.details):
+            parts.append(f"{key}={self.details[key]}")
+        if self.candidates:
+            parts.append(f"candidates={'|'.join(self.candidates)}")
+        return f"{self.reason} [{' '.join(parts)}]"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plan as a plain dict (for reports and structured logging)."""
+        return {
+            "backend": self.backend,
+            "query_kind": self.query_kind,
+            "reason": self.reason,
+            "details": dict(self.details),
+            "candidates": list(self.candidates),
+        }
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,83 @@
+"""The query planner: inspect a query, pick a backend, explain the choice.
+
+The planner is deliberately simple and fully explainable: it classifies the
+query (top-k / skyline / multi-relation join), asks the registry for the
+backends serving that kind, filters to the ones that actually support the
+concrete query (predicate dimensions covered, ranking dimensions indexed),
+and picks the highest-preference survivor.  Every decision is recorded on
+the returned :class:`repro.engine.plan.QueryPlan`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import PlanningError
+from repro.query import SkylineQuery, TopKQuery
+
+from repro.engine.plan import KIND_JOIN, KIND_SKYLINE, KIND_TOPK, QueryPlan
+from repro.engine.registry import Backend, EngineRegistry, kind_of
+
+
+class Planner:
+    """Routes queries to registered backends, producing explainable plans."""
+
+    def __init__(self, registry: EngineRegistry) -> None:
+        self.registry = registry
+
+    def plan(self, query) -> QueryPlan:
+        """Choose a backend for ``query`` and explain the choice."""
+        kind = kind_of(query)
+        serving = self.registry.backends_for(kind)
+        if not serving:
+            raise PlanningError(f"no backend registered for {kind!r} queries")
+        candidates = [b for b in serving if b.supports(query)]
+        if not candidates:
+            raise PlanningError(
+                f"none of the registered {kind!r} backends "
+                f"({', '.join(b.name for b in serving)}) supports this query; "
+                f"check that every predicate dimension is a selection dimension "
+                f"and every ranking/preference dimension is a ranking dimension "
+                f"of the target relation")
+        chosen = candidates[0]
+        details = dict(self._query_details(kind, query))
+        details.update(chosen.plan_details(query))
+        return QueryPlan(
+            backend=chosen.name,
+            query_kind=kind,
+            reason=self._reason(kind, query, chosen),
+            details=details,
+            candidates=tuple(b.name for b in candidates),
+        )
+
+    def explain(self, query) -> str:
+        """One-line explanation of how ``query`` would be routed."""
+        return self.plan(query).describe()
+
+    # ------------------------------------------------------------------
+    # rationale rendering
+    # ------------------------------------------------------------------
+    def _query_details(self, kind: str, query):
+        if kind == KIND_TOPK:
+            yield "k", query.k
+            yield "predicate_dims", ",".join(query.predicate.dims) or "-"
+            yield "function_shape", query.function.shape.value
+        elif kind == KIND_SKYLINE:
+            yield "predicate_dims", ",".join(query.predicate.dims) or "-"
+            yield "preference_dims", ",".join(query.preference_dims)
+        else:
+            yield "relations", ",".join(t.relation.name for t in query.terms)
+            yield "k", query.k
+
+    def _reason(self, kind: str, query, chosen: Backend) -> str:
+        if kind == KIND_TOPK:
+            what = (f"top-{query.k} with a {query.function.shape.value} function "
+                    f"over predicate dims "
+                    f"[{', '.join(query.predicate.dims) or 'none'}]")
+        elif kind == KIND_SKYLINE:
+            what = (f"{'dynamic ' if query.is_dynamic else ''}skyline over "
+                    f"[{', '.join(query.preference_dims)}]")
+        else:
+            names = ", ".join(t.relation.name for t in query.terms)
+            what = f"ranked join of [{names}]"
+        return f"{what} routed to {chosen.name}"

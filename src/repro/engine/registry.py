@@ -1,0 +1,114 @@
+"""The backend abstraction and the named-backend registry.
+
+A *backend* wraps one of the library's execution engines behind a uniform
+interface: it declares which query kind it serves (top-k, skyline, or
+multi-relation join), whether it can answer a concrete query, and how to run
+it.  The :class:`EngineRegistry` holds named backends; the planner consults
+it to route queries, and operators can swap or extend backends without
+touching the planner or the executor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import PlanningError
+from repro.query import SkylineQuery, TopKQuery
+
+from repro.engine.plan import KIND_JOIN, KIND_SKYLINE, KIND_TOPK
+
+
+def kind_of(query) -> str:
+    """Classify a query object into one of the routed kinds."""
+    if isinstance(query, TopKQuery):
+        return KIND_TOPK
+    if isinstance(query, SkylineQuery):
+        return KIND_SKYLINE
+    # SPJRQuery lives in repro.joins; avoid a hard import cycle by duck
+    # typing on its distinguishing fields.
+    if hasattr(query, "terms") and hasattr(query, "joins"):
+        return KIND_JOIN
+    raise PlanningError(f"cannot route query of type {type(query).__name__}")
+
+
+class Backend(ABC):
+    """One named execution engine behind the registry interface.
+
+    ``priority`` orders candidates during planning — lower wins.  Indexed
+    engines sit low (preferred), scan fallbacks high.
+    """
+
+    #: Registry name; unique within one registry.
+    name: str
+    #: Query kind served (one of the ``KIND_*`` constants).
+    kind: str
+    #: Planning preference; lower values are chosen first.
+    priority: int = 50
+
+    @abstractmethod
+    def supports(self, query) -> bool:
+        """Whether this backend can answer ``query`` (must not raise)."""
+
+    @abstractmethod
+    def run(self, query):
+        """Execute ``query`` and return its result object."""
+
+    def plan_details(self, query) -> Dict[str, object]:
+        """Backend-specific plan properties (e.g. covering cuboids)."""
+        return {}
+
+    def attach_bound_cache(self, bound_cache) -> None:
+        """Adopt a shared lower-bound cache; default: not applicable."""
+
+    def describe(self) -> str:
+        """Short human-readable description for ``explain`` output."""
+        return f"{self.name} ({self.kind}, priority {self.priority})"
+
+
+class EngineRegistry:
+    """Named collection of backends, ordered by registration."""
+
+    def __init__(self) -> None:
+        self._backends: "Dict[str, Backend]" = {}
+
+    def register(self, backend: Backend, replace: bool = False) -> Backend:
+        """Add ``backend`` under its name; ``replace`` allows re-binding."""
+        if not replace and backend.name in self._backends:
+            raise PlanningError(
+                f"backend {backend.name!r} is already registered "
+                f"(pass replace=True to re-bind)")
+        self._backends[backend.name] = backend
+        return backend
+
+    def unregister(self, name: str) -> Backend:
+        """Remove and return the backend registered under ``name``."""
+        try:
+            return self._backends.pop(name)
+        except KeyError as exc:
+            raise PlanningError(f"no backend registered under {name!r}") from exc
+
+    def get(self, name: str) -> Backend:
+        """Return the backend registered under ``name``."""
+        try:
+            return self._backends[name]
+        except KeyError as exc:
+            raise PlanningError(f"no backend registered under {name!r}") from exc
+
+    def names(self) -> List[str]:
+        """Registered backend names, in registration order."""
+        return list(self._backends)
+
+    def backends_for(self, kind: str) -> List[Backend]:
+        """Backends serving ``kind``, stably sorted by ascending priority."""
+        matching = [b for b in self._backends.values() if b.kind == kind]
+        return sorted(matching, key=lambda b: b.priority)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    def __iter__(self) -> Iterator[Backend]:
+        return iter(self._backends.values())
+
+    def __len__(self) -> int:
+        return len(self._backends)

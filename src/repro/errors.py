@@ -54,3 +54,7 @@ class MaintenanceError(ReproError):
 
 class OptimizerError(ReproError):
     """The SPJR query optimizer could not produce a plan."""
+
+
+class PlanningError(QueryError):
+    """The engine planner found no registered backend able to serve a query."""

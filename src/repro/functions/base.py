@@ -21,6 +21,8 @@ import enum
 from abc import ABC, abstractmethod
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.geometry import Box
 from repro.storage.table import Relation
 
@@ -60,6 +62,19 @@ class RankingFunction(ABC):
     def evaluate_tuple(self, relation: Relation, tid: int) -> float:
         """Evaluate on tuple ``tid`` of ``relation``."""
         return self.evaluate(relation.ranking_values(tid, self.dims))
+
+    def evaluate_batch(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate on a ``(n, len(dims))`` array of rows, returning ``n`` scores.
+
+        Subclasses override this with a columnar implementation whose
+        per-row floating-point operation order matches :meth:`evaluate`, so
+        batch and per-tuple scoring agree bit for bit.  This fallback simply
+        loops, which is always exact.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return np.empty(0, dtype=np.float64)
+        return np.array([self.evaluate(row) for row in values], dtype=np.float64)
 
     # ------------------------------------------------------------------
     # lower bounds

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.functions.base import FunctionShape, RankingFunction
 from repro.geometry import Box
 
@@ -35,6 +37,16 @@ class SquaredDistanceFunction(RankingFunction):
         total = 0.0
         for weight, value, target in zip(self.weights, values, self.targets):
             diff = value - target
+            total += weight * diff * diff
+        return total
+
+    def evaluate_batch(self, values: np.ndarray) -> np.ndarray:
+        # Same per-dimension accumulation order as ``evaluate`` for bitwise
+        # identical scores.
+        values = np.asarray(values, dtype=np.float64)
+        total = np.zeros(values.shape[0], dtype=np.float64)
+        for j, (weight, target) in enumerate(zip(self.weights, self.targets)):
+            diff = values[:, j] - target
             total += weight * diff * diff
         return total
 
@@ -81,6 +93,13 @@ class ManhattanDistanceFunction(RankingFunction):
         total = 0.0
         for weight, value, target in zip(self.weights, values, self.targets):
             total += weight * abs(value - target)
+        return total
+
+    def evaluate_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        total = np.zeros(values.shape[0], dtype=np.float64)
+        for j, (weight, target) in enumerate(zip(self.weights, self.targets)):
+            total += weight * np.abs(values[:, j] - target)
         return total
 
     def lower_bound(self, box: Box) -> float:

@@ -13,6 +13,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.functions.base import FunctionShape, RankingFunction
 from repro.geometry import Box, Interval
 
@@ -23,6 +25,14 @@ class Expr(ABC):
     @abstractmethod
     def value(self, env: Mapping[str, float]) -> float:
         """Evaluate at a point given by ``{var: value}``."""
+
+    @abstractmethod
+    def batch(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Evaluate elementwise on ``{var: column}`` arrays of equal length.
+
+        Every node applies the same IEEE operation per element as
+        :meth:`value`, so batch evaluation matches point evaluation.
+        """
 
     @abstractmethod
     def interval(self, env: Mapping[str, Interval]) -> Interval:
@@ -73,6 +83,9 @@ class Var(Expr):
     def value(self, env: Mapping[str, float]) -> float:
         return float(env[self.name])
 
+    def batch(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        return np.asarray(env[self.name], dtype=np.float64)
+
     def interval(self, env: Mapping[str, Interval]) -> Interval:
         return env[self.name]
 
@@ -91,6 +104,9 @@ class Const(Expr):
 
     def value(self, env: Mapping[str, float]) -> float:
         return self._value
+
+    def batch(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        return np.float64(self._value)
 
     def interval(self, env: Mapping[str, Interval]) -> Interval:
         return Interval(self._value, self._value)
@@ -111,6 +127,9 @@ class Add(Expr):
     def value(self, env: Mapping[str, float]) -> float:
         return self.left.value(env) + self.right.value(env)
 
+    def batch(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self.left.batch(env) + self.right.batch(env)
+
     def interval(self, env: Mapping[str, Interval]) -> Interval:
         return self.left.interval(env) + self.right.interval(env)
 
@@ -129,6 +148,9 @@ class Sub(Expr):
 
     def value(self, env: Mapping[str, float]) -> float:
         return self.left.value(env) - self.right.value(env)
+
+    def batch(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self.left.batch(env) - self.right.batch(env)
 
     def interval(self, env: Mapping[str, Interval]) -> Interval:
         return self.left.interval(env) - self.right.interval(env)
@@ -149,6 +171,9 @@ class Mul(Expr):
     def value(self, env: Mapping[str, float]) -> float:
         return self.left.value(env) * self.right.value(env)
 
+    def batch(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self.left.batch(env) * self.right.batch(env)
+
     def interval(self, env: Mapping[str, Interval]) -> Interval:
         return self.left.interval(env) * self.right.interval(env)
 
@@ -168,7 +193,20 @@ class Pow(Expr):
         self.base, self.exponent = base, int(exponent)
 
     def value(self, env: Mapping[str, float]) -> float:
-        return self.base.value(env) ** self.exponent
+        # Left-to-right repeated multiplication, mirrored exactly by
+        # ``batch`` so scalar and vectorized scores agree bit for bit.
+        base = self.base.value(env)
+        result = 1.0
+        for _ in range(self.exponent):
+            result = result * base
+        return result
+
+    def batch(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        base = self.base.batch(env)
+        result = np.float64(1.0)
+        for _ in range(self.exponent):
+            result = result * base
+        return result
 
     def interval(self, env: Mapping[str, Interval]) -> Interval:
         return self.base.interval(env).power(self.exponent)
@@ -188,6 +226,9 @@ class Abs(Expr):
 
     def value(self, env: Mapping[str, float]) -> float:
         return abs(self.inner.value(env))
+
+    def batch(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        return np.abs(self.inner.batch(env))
 
     def interval(self, env: Mapping[str, Interval]) -> Interval:
         return self.inner.interval(env).abs()
@@ -221,6 +262,14 @@ class ExpressionFunction(RankingFunction):
     def evaluate(self, values: Sequence[float]) -> float:
         env = {dim: float(v) for dim, v in zip(self.dims, values)}
         return self.expr.value(env)
+
+    def evaluate_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        env = {dim: values[:, j] for j, dim in enumerate(self.dims)}
+        result = np.asarray(self.expr.batch(env), dtype=np.float64)
+        if result.ndim == 0:
+            result = np.full(values.shape[0], float(result), dtype=np.float64)
+        return result
 
     def lower_bound(self, box: Box) -> float:
         env = {dim: box.interval(dim) for dim in self.dims}
@@ -256,6 +305,13 @@ class ConstrainedFunction(RankingFunction):
         if not self.window.contains(env[self.constrained_dim]):
             return float("inf")
         return self.base.evaluate(values)
+
+    def evaluate_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        constrained = values[:, self.dims.index(self.constrained_dim)]
+        inside = (constrained >= self.window.low) & (constrained <= self.window.high)
+        scores = self.base.evaluate_batch(values)
+        return np.where(inside, scores, np.inf)
 
     def lower_bound(self, box: Box) -> float:
         interval = box.interval(self.constrained_dim)

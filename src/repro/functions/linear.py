@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.functions.base import FunctionShape, RankingFunction
 from repro.geometry import Box
 
@@ -38,6 +40,15 @@ class LinearFunction(RankingFunction):
         total = self.constant
         for weight, value in zip(self.weights, values):
             total += weight * value
+        return total
+
+    def evaluate_batch(self, values: np.ndarray) -> np.ndarray:
+        # Accumulate column by column in the same order as ``evaluate`` so
+        # the per-row rounding (and thus the scores) is bitwise identical.
+        values = np.asarray(values, dtype=np.float64)
+        total = np.full(values.shape[0], self.constant, dtype=np.float64)
+        for j, weight in enumerate(self.weights):
+            total += weight * values[:, j]
         return total
 
     def lower_bound(self, box: Box) -> float:

@@ -136,7 +136,12 @@ class SkylineQuery:
 
 @dataclass
 class QueryResult:
-    """Result of a top-k query plus the execution statistics the paper reports."""
+    """Result of a top-k query plus the execution statistics the paper reports.
+
+    ``extra`` carries engine-specific statistics (floats) and, when the
+    query went through :class:`repro.engine.Executor`, the chosen backend
+    name under ``"backend"`` and the planner's explanation under ``"plan"``.
+    """
 
     tids: Tuple[int, ...]
     scores: Tuple[float, ...]
@@ -145,7 +150,7 @@ class QueryResult:
     peak_heap_size: int = 0
     tuples_evaluated: int = 0
     elapsed_seconds: float = 0.0
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if len(self.tids) != len(self.scores):
@@ -154,6 +159,18 @@ class QueryResult:
     def as_pairs(self) -> Tuple[Tuple[int, float], ...]:
         """Return ``((tid, score), ...)`` pairs in rank order."""
         return tuple(zip(self.tids, self.scores))
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Name of the engine backend that produced this result, if planned."""
+        value = self.extra.get("backend")
+        return str(value) if value is not None else None
+
+    @property
+    def plan(self) -> Optional[str]:
+        """The planner's explanation of how this query was routed, if planned."""
+        value = self.extra.get("plan")
+        return str(value) if value is not None else None
 
     def __len__(self) -> int:
         return len(self.tids)

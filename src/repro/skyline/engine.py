@@ -44,7 +44,19 @@ class SkylineResult:
     peak_heap_size: int = 0
     nodes_expanded: int = 0
     elapsed_seconds: float = 0.0
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Name of the engine backend that produced this result, if planned."""
+        value = self.extra.get("backend")
+        return str(value) if value is not None else None
+
+    @property
+    def plan(self) -> Optional[str]:
+        """The planner's explanation of how this query was routed, if planned."""
+        value = self.extra.get("plan")
+        return str(value) if value is not None else None
 
     def __len__(self) -> int:
         return len(self.tids)

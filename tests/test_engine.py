@@ -1,0 +1,303 @@
+"""Tests for the unified engine layer: registry, planner, executor, cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cube import RankingCube
+from repro.engine import (
+    Executor,
+    EngineRegistry,
+    LowerBoundCache,
+    Planner,
+    RankingCubeBackend,
+    SkylineBackend,
+    TableScanBackend,
+    kind_of,
+)
+from repro.errors import PlanningError
+from repro.functions import LinearFunction, SquaredDistanceFunction
+from repro.functions.base import RankingFunction
+from repro.joins import JoinCondition, RelationTerm, SPJRQuery
+from repro.query import Predicate, SkylineQuery, TopKQuery
+from repro.skyline import BooleanFirstSkyline, SkylineEngine
+from repro.workloads import QuerySpec, SyntheticSpec, generate_queries, generate_relation
+from tests.conftest import brute_force_topk
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_relation(SyntheticSpec(num_tuples=3000, num_selection_dims=3,
+                                           num_ranking_dims=2, cardinality=8,
+                                           seed=111))
+
+
+@pytest.fixture(scope="module")
+def executor(relation):
+    return Executor.for_relation(relation, block_size=200, rtree_max_entries=16)
+
+
+class PerTupleFunction(RankingFunction):
+    """Wrapper forcing the per-tuple (seed) scoring path of a function."""
+
+    def __init__(self, inner: RankingFunction) -> None:
+        self.inner = inner
+        self.dims = inner.dims
+
+    def evaluate(self, values):
+        return self.inner.evaluate(values)
+
+    def lower_bound(self, box):
+        return self.inner.lower_bound(box)
+
+    @property
+    def shape(self):
+        return self.inner.shape
+
+    def minimum_point(self):
+        return self.inner.minimum_point()
+
+
+class TestRouting:
+    def test_topk_routes_to_ranking_cube(self, executor):
+        query = TopKQuery(Predicate.of(A1=1, A2=2),
+                          LinearFunction(["N1", "N2"], [1.0, 2.0]), 5)
+        result = executor.execute(query)
+        assert result.extra["backend"] == "ranking-cube"
+        assert "ranking-cube" in result.extra["plan"]
+        assert result.backend == "ranking-cube"
+        assert result.plan is not None
+
+    def test_skyline_routes_to_skyline_engine(self, executor):
+        query = SkylineQuery(Predicate.of(A1=1), ("N1", "N2"))
+        result = executor.execute(query)
+        assert result.extra["backend"] == "skyline"
+        assert result.plan is not None and "skyline" in result.plan
+
+    def test_join_routes_to_index_merge(self):
+        r1 = generate_relation(SyntheticSpec(num_tuples=400, num_selection_dims=2,
+                                             num_ranking_dims=2, cardinality=4,
+                                             seed=91), name="R1")
+        r2 = generate_relation(SyntheticSpec(num_tuples=300, num_selection_dims=2,
+                                             num_ranking_dims=2, cardinality=4,
+                                             seed=92), name="R2")
+        executor = Executor.for_system([r1, r2], rtree_max_entries=16)
+        query = SPJRQuery(
+            terms=(RelationTerm(r1, Predicate.of(A2=1),
+                                LinearFunction(["N1", "N2"], [1, 1])),
+                   RelationTerm(r2, Predicate.of(A2=2),
+                                LinearFunction(["N1"], [1.0]))),
+            joins=(JoinCondition("R1", "A1", "R2", "A1"),), k=5)
+        result = executor.execute(query)
+        assert result.extra["backend"] == "index-merge"
+        assert "join_order" in result.extra["plan"]
+
+    def test_unroutable_query_kind(self, executor):
+        with pytest.raises(PlanningError):
+            executor.execute(object())
+
+    def test_no_supporting_backend(self, relation):
+        from repro.signature import SignatureRankingCube
+
+        lonely = Executor()
+        cube = SignatureRankingCube(relation, rtree_max_entries=16)
+        lonely.register(SkylineBackend(SkylineEngine(cube)))
+        with pytest.raises(PlanningError):
+            lonely.execute(TopKQuery(Predicate.of(),
+                                     LinearFunction(["N1"], [1.0]), 3))
+
+    def test_kind_of(self, relation):
+        assert kind_of(TopKQuery(Predicate.of(),
+                                 LinearFunction(["N1"], [1.0]), 1)) == "topk"
+        assert kind_of(SkylineQuery(Predicate.of(), ("N1",))) == "skyline"
+        with pytest.raises(PlanningError):
+            kind_of(42)
+
+
+class TestPlannerResultsMatchDirectCalls:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_linear_workload(self, relation, executor, seed):
+        queries = generate_queries(
+            relation, QuerySpec(k=10, num_selection_conditions=2,
+                                num_ranking_dims=2, skewness=2.0, seed=seed),
+            count=4)
+        direct = RankingCube(relation, block_size=200)
+        for query in queries:
+            routed = executor.execute(query)
+            reference = direct.query(query)
+            assert routed.tids == reference.tids
+            assert routed.scores == reference.scores
+            _, expected = brute_force_topk(relation, query)
+            assert routed.scores == pytest.approx(expected)
+
+    def test_distance_workload(self, relation, executor):
+        queries = generate_queries(
+            relation, QuerySpec(k=5, num_selection_conditions=1,
+                                num_ranking_dims=2, function_kind="distance",
+                                seed=9),
+            count=3)
+        for query in queries:
+            routed = executor.execute(query)
+            _, expected = brute_force_topk(relation, query)
+            assert routed.scores == pytest.approx(expected)
+
+    def test_skyline_matches_direct_engines(self, relation, executor):
+        baseline = BooleanFirstSkyline(relation)
+        for value in (0, 1, 2):
+            query = SkylineQuery(Predicate.of(A1=value), ("N1", "N2"))
+            assert executor.execute(query).tids == baseline.query(query).tids
+
+
+class TestVectorizedParity:
+    """Vectorized block scoring == the seed per-tuple loop, bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_workload_identical(self, relation, seed):
+        cube = RankingCube(relation, block_size=200)
+        queries = generate_queries(
+            relation, QuerySpec(k=10, num_selection_conditions=2,
+                                num_ranking_dims=2, skewness=3.0, seed=seed),
+            count=4)
+        for query in queries:
+            vectorized = cube.query(query)
+            per_tuple = cube.query(TopKQuery(query.predicate,
+                                             PerTupleFunction(query.function),
+                                             query.k))
+            assert vectorized.tids == per_tuple.tids
+            assert vectorized.scores == per_tuple.scores  # exact, not approx
+            assert vectorized.tuples_evaluated == per_tuple.tuples_evaluated
+
+    def test_empty_predicate_identical(self, relation):
+        cube = RankingCube(relation, block_size=200)
+        function = SquaredDistanceFunction(["N1", "N2"], [0.3, 0.6])
+        query = TopKQuery(Predicate.of(), function, 7)
+        vectorized = cube.query(query)
+        per_tuple = cube.query(TopKQuery(query.predicate,
+                                         PerTupleFunction(function), query.k))
+        assert vectorized.tids == per_tuple.tids
+        assert vectorized.scores == per_tuple.scores
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self, relation):
+        registry = EngineRegistry()
+        cube = RankingCube(relation, block_size=300)
+        registry.register(RankingCubeBackend(cube))
+        with pytest.raises(PlanningError):
+            registry.register(RankingCubeBackend(cube))
+        registry.register(RankingCubeBackend(cube), replace=True)
+        assert registry.names() == ["ranking-cube"]
+
+    def test_unregister_and_get(self, relation):
+        registry = EngineRegistry()
+        cube = RankingCube(relation, block_size=300)
+        backend = registry.register(RankingCubeBackend(cube))
+        assert registry.get("ranking-cube") is backend
+        assert "ranking-cube" in registry
+        removed = registry.unregister("ranking-cube")
+        assert removed is backend
+        with pytest.raises(PlanningError):
+            registry.get("ranking-cube")
+        with pytest.raises(PlanningError):
+            registry.unregister("ranking-cube")
+
+    def test_priority_ordering(self, executor):
+        names = [b.name for b in executor.registry.backends_for("topk")]
+        assert names == ["ranking-cube", "signature-cube", "table-scan"]
+
+    def test_topk_only_stack(self, relation):
+        slim = Executor.for_relation(relation, block_size=300,
+                                     with_signature=False, with_skyline=False)
+        assert slim.registry.names() == ["ranking-cube", "table-scan"]
+        with pytest.raises(PlanningError):
+            slim.execute(SkylineQuery(Predicate.of(), ("N1", "N2")))
+
+    def test_fragments_stack(self, relation):
+        stacked = Executor.for_relation(relation, block_size=300,
+                                        rtree_max_entries=16,
+                                        include_fragments=True)
+        assert "fragments" in stacked.registry.names()
+        names = [b.name for b in stacked.registry.backends_for("topk")]
+        assert names.index("ranking-cube") < names.index("fragments")
+
+
+class TestBoundCacheAndBatch:
+    def test_execute_many_shares_bounds(self, relation):
+        executor = Executor.for_relation(relation, block_size=200,
+                                         rtree_max_entries=16)
+        function = LinearFunction(["N1", "N2"], [1.0, 2.0])
+        queries = [TopKQuery(Predicate.of(A1=value), function, 5)
+                   for value in range(4)]
+        results = executor.execute_many(queries)
+        assert len(results) == len(queries)
+        stats = executor.cache_stats()
+        assert stats["hits"] > 0  # later queries reuse the same block bounds
+        for query, batched in zip(queries, results):
+            alone = executor.execute(query)
+            assert alone.tids == batched.tids
+            assert alone.scores == batched.scores
+
+    def test_cache_counts_and_clear(self):
+        from repro.partition.grid import GridPartition  # noqa: F401 (doc import)
+
+        cache = LowerBoundCache(max_entries=2)
+
+        class FakeGrid:
+            def block_box(self, bid):
+                return bid
+
+        class FakeFunction:
+            calls = 0
+
+            def lower_bound(self, box):
+                FakeFunction.calls += 1
+                return float(box)
+
+        grid, function = FakeGrid(), FakeFunction()
+        assert cache.lower_bound(grid, function, 1) == 1.0
+        assert cache.lower_bound(grid, function, 1) == 1.0
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert FakeFunction.calls == 1
+        cache.lower_bound(grid, function, 2)
+        cache.lower_bound(grid, function, 3)  # evicts bid 1 (LRU, capacity 2)
+        assert len(cache) == 2
+        cache.lower_bound(grid, function, 1)
+        assert FakeFunction.calls == 4
+        assert 0.0 < cache.hit_rate < 1.0
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_cached_results_identical_to_uncached(self, relation):
+        plain = RankingCube(relation, block_size=200)
+        cached = RankingCube(relation, block_size=200,
+                             bound_cache=LowerBoundCache())
+        queries = generate_queries(
+            relation, QuerySpec(k=8, num_selection_conditions=1,
+                                num_ranking_dims=2, seed=4),
+            count=3)
+        for query in queries:
+            for _ in range(2):  # second pass hits the cache
+                a = plain.query(query)
+                b = cached.query(query)
+                assert a.tids == b.tids
+                assert a.scores == b.scores
+
+
+class TestExplain:
+    def test_explain_names_backend_and_details(self, executor):
+        query = TopKQuery(Predicate.of(A1=1),
+                          SquaredDistanceFunction(["N1", "N2"], [0.2, 0.4]), 3)
+        text = executor.explain(query)
+        assert "ranking-cube" in text
+        assert "semi_monotone" in text
+        assert "k=3" in text
+
+    def test_plan_as_dict(self, executor):
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 3)
+        plan = executor.plan(query)
+        payload = plan.as_dict()
+        assert payload["backend"] == "ranking-cube"
+        assert payload["query_kind"] == "topk"
+        assert "covering_cuboids" in payload["details"]

@@ -1,0 +1,88 @@
+"""Batch (vectorized) scoring must match per-tuple scoring bit for bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    Abs,
+    ConstrainedFunction,
+    ExpressionFunction,
+    LinearFunction,
+    ManhattanDistanceFunction,
+    SquaredDistanceFunction,
+    Var,
+    WeightedAverageFunction,
+)
+from repro.functions.base import RankingFunction
+from repro.geometry import Box, Interval
+
+
+def random_rows(dims: int, n: int = 500, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((n, dims)) * 2.0 - 0.5
+
+
+ALL_FUNCTIONS = {
+    "linear": LinearFunction(["N1", "N2"], [1.0, 2.0]),
+    "linear_negative": LinearFunction(["N1", "N2", "N3"], [0.5, -1.5, 3.0],
+                                      constant=0.25),
+    "weighted_average": WeightedAverageFunction(["N1", "N2"], [1.0, 3.0]),
+    "squared_distance": SquaredDistanceFunction(["N1", "N2"], [0.25, 0.75],
+                                                weights=[1.0, 2.0]),
+    "manhattan": ManhattanDistanceFunction(["N1", "N2"], [0.4, 0.6]),
+    "expression": ExpressionFunction((Var("N1") - Var("N2") ** 2) ** 2),
+    "expression_abs": ExpressionFunction(Abs(Var("N1") - 0.5) + 2.0 * Var("N2")),
+    "expression_const": ExpressionFunction(Var("N1") * 0.0 + 1.5, dims=["N1"]),
+    "constrained": ConstrainedFunction(
+        LinearFunction(["N1", "N2"], [1.0, 1.0]), "N2", 0.3, 0.5),
+}
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("name", sorted(ALL_FUNCTIONS))
+    def test_batch_matches_per_tuple_exactly(self, name):
+        function = ALL_FUNCTIONS[name]
+        rows = random_rows(len(function.dims))
+        batch = function.evaluate_batch(rows)
+        scalar = np.array([function.evaluate(row) for row in rows])
+        assert batch.shape == (len(rows),)
+        # Bitwise identity, not approximation: the batch implementations
+        # apply the same per-row operation order as ``evaluate``.
+        assert np.array_equal(batch, scalar), name
+
+    @pytest.mark.parametrize("name", sorted(ALL_FUNCTIONS))
+    def test_empty_batch(self, name):
+        function = ALL_FUNCTIONS[name]
+        empty = np.empty((0, len(function.dims)))
+        assert function.evaluate_batch(empty).shape == (0,)
+
+    def test_constrained_scores_inf_outside_window(self):
+        function = ALL_FUNCTIONS["constrained"]
+        rows = np.array([[0.1, 0.4], [0.1, 0.9], [0.2, 0.3]])
+        scores = function.evaluate_batch(rows)
+        assert scores[0] == pytest.approx(0.5)
+        assert np.isinf(scores[1])
+        assert scores[2] == pytest.approx(0.5)
+
+    def test_base_fallback_loops_over_evaluate(self):
+        class OddFunction(RankingFunction):
+            dims = ("N1",)
+
+            def evaluate(self, values):
+                return float(values[0]) ** 3 - 1.0
+
+            def lower_bound(self, box: Box) -> float:
+                return -10.0
+
+        function = OddFunction()
+        rows = random_rows(1)
+        batch = function.evaluate_batch(rows)
+        scalar = np.array([function.evaluate(row) for row in rows])
+        assert np.array_equal(batch, scalar)
+
+    def test_batch_accepts_python_lists(self):
+        function = ALL_FUNCTIONS["linear"]
+        rows = [[0.0, 1.0], [1.0, 0.0]]
+        assert function.evaluate_batch(rows) == pytest.approx([2.0, 1.0])
