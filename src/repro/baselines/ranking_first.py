@@ -47,13 +47,16 @@ class RankingFirstTopK:
         while heap:
             peak_heap = max(peak_heap, len(heap))
             bound, _, node = heapq.heappop(heap)
-            if topk.is_full() and topk.kth_score <= bound:
+            # Strict halt/skip (here and below): anything tying the k-th
+            # score may still beat the incumbent on the canonical
+            # (score, tid) tie-break, so only strictly worse work is pruned.
+            if topk.is_full() and topk.kth_score < bound:
                 break
             states += 1
             if node.is_leaf:
                 for entry in self.rtree.leaf_entries(node):
                     score = function.evaluate([entry.values[i] for i in dim_positions])
-                    if topk.is_full() and score >= topk.kth_score:
+                    if topk.is_full() and score > topk.kth_score:
                         continue
                     verifications += 1
                     if query.predicate.matches(self.relation, entry.tid):
@@ -61,7 +64,7 @@ class RankingFirstTopK:
             else:
                 for child in self.rtree.children(node):
                     child_bound = function.lower_bound(child.box)
-                    if topk.is_full() and child_bound >= topk.kth_score:
+                    if topk.is_full() and child_bound > topk.kth_score:
                         continue
                     counter += 1
                     heapq.heappush(heap, (child_bound, counter, child))

@@ -75,7 +75,9 @@ class ThresholdAlgorithmTopK:
                         seen_scores[tid] = float("inf")
             if len(last_seen) == len(function.dims):
                 threshold = function.evaluate([last_seen[d] for d in function.dims])
-                if kth_score() <= threshold:
+                # Strict halt: an unseen tuple tying the k-th score may
+                # still win the canonical (score, tid) tie-break.
+                if kth_score() < threshold:
                     break
 
         tree_io = sum(

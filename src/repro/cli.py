@@ -6,9 +6,10 @@ Commands
     Print every experiment id with its description.
 ``run-experiments [--only id,id,...] [--output report.md]``
     Run experiments and print (or write) a markdown report.
-``demo``
+``demo [--shards N]``
     Build a small ranking cube and run one query end to end — a smoke test
-    that the installation works.
+    that the installation works.  ``--shards N`` routes the same queries
+    through the scatter/gather engine over N range shards instead.
 """
 
 from __future__ import annotations
@@ -52,7 +53,7 @@ def _cmd_run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(_: argparse.Namespace) -> int:
+def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.engine import Executor
     from repro.functions import LinearFunction
     from repro.query import Predicate, SkylineQuery, TopKQuery
@@ -60,7 +61,15 @@ def _cmd_demo(_: argparse.Namespace) -> int:
 
     relation = generate_relation(SyntheticSpec(num_tuples=5000, num_selection_dims=3,
                                                num_ranking_dims=2, cardinality=10))
-    executor = Executor.for_relation(relation, block_size=200)
+    num_shards = getattr(args, "shards", 0) or 0
+    if num_shards > 1:
+        from repro.workloads import make_sharded_engine
+
+        _, executor = make_sharded_engine(relation, num_shards, range_dim="A1",
+                                          block_size=200)
+        print(f"engine: scatter/gather over {num_shards} range shards on A1")
+    else:
+        executor = Executor.for_relation(relation, block_size=200)
     query = TopKQuery(Predicate.of(A1=1, A2=2),
                       LinearFunction(["N1", "N2"], [1.0, 1.0]), 5)
     result = executor.execute(query)
@@ -69,6 +78,9 @@ def _cmd_demo(_: argparse.Namespace) -> int:
         print(f"  tid={tid} score={score:.4f}")
     print(f"backend: {result.backend}")
     print(f"plan: {result.plan}")
+    if num_shards > 1:
+        print(f"shards consulted: {result.extra['shards_consulted']} "
+              f"(pruned: {result.extra['shards_pruned']})")
     print(f"{result.disk_accesses} block accesses, "
           f"{result.states_generated} blocks examined")
 
@@ -93,8 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", help="write the markdown report to this file")
     run.set_defaults(handler=_cmd_run_experiments)
 
-    sub.add_parser("demo", help="build a small cube and run one query").set_defaults(
-        handler=_cmd_demo)
+    demo = sub.add_parser("demo", help="build a small cube and run one query")
+    demo.add_argument("--shards", type=int, default=0,
+                      help="route the demo through a scatter/gather engine "
+                           "over N range shards (default: unsharded)")
+    demo.set_defaults(handler=_cmd_demo)
     return parser
 
 

@@ -5,8 +5,10 @@ retrieve, evaluate — and the expansion rule of Lemma 1: starting from the
 base block that contains the ranking function's minimizer, candidate blocks
 are explored in increasing order of their lower-bound score, each expansion
 adding the block's grid neighbors to the frontier.  The search halts once
-the current k-th best seen score is no worse than the best possible score of
-any unexplored block (``S_k <= S_unseen``).
+the current k-th best seen score strictly beats the best possible score of
+any unexplored block (``S_k < S_unseen``; blocks whose bound ties ``S_k``
+are still examined so the canonical (score, tid) tie-break sees every
+candidate).
 """
 
 from __future__ import annotations
@@ -22,24 +24,36 @@ from repro.cube.providers import CellProvider
 from repro.errors import QueryError
 from repro.functions.base import RankingFunction
 from repro.partition.grid import GridPartition
-from repro.query import QueryResult
+from repro.query import QueryResult, topk_order_key
 
 
 class TopKAccumulator:
-    """Bounded max-heap tracking the best (smallest-score) k tuples seen."""
+    """Bounded max-heap tracking the best (smallest-score) k tuples seen.
+
+    The retained set is the minimal k under the canonical
+    :func:`repro.query.topk_order_key` order ``(score, tid)`` — ties at the
+    k-th position are broken by tuple id, not by arrival order, so every
+    engine (and every shard merge) that feeds the same scored tuples ends
+    with the same answer list.
+    """
 
     def __init__(self, k: int) -> None:
         if k <= 0:
             raise QueryError("k must be positive")
         self.k = k
-        self._heap: List[Tuple[float, int]] = []  # (-score, tid)
+        self._heap: List[Tuple[float, int]] = []  # (-score, -tid): root is worst
 
     def offer(self, tid: int, score: float) -> None:
         """Consider one scored tuple."""
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (-score, tid))
-        elif score < -self._heap[0][0]:
-            heapq.heapreplace(self._heap, (-score, tid))
+            heapq.heappush(self._heap, (-score, -tid))
+        else:
+            # Inline (score, tid) < (worst_score, worst_tid): this runs once
+            # per surviving tuple, so no tuple allocation in the hot path.
+            worst_score = -self._heap[0][0]
+            if score < worst_score or (score == worst_score
+                                       and tid < -self._heap[0][1]):
+                heapq.heapreplace(self._heap, (-score, -tid))
 
     @property
     def kth_score(self) -> float:
@@ -53,8 +67,9 @@ class TopKAccumulator:
         return len(self._heap) >= self.k
 
     def ranked(self) -> List[Tuple[int, float]]:
-        """``(tid, score)`` pairs in ascending score order."""
-        return sorted(((tid, -neg) for neg, tid in self._heap), key=lambda p: (p[1], p[0]))
+        """``(tid, score)`` pairs in canonical ``(score, tid)`` order."""
+        return sorted(((-neg_tid, -neg_score) for neg_score, neg_tid in self._heap),
+                      key=lambda p: topk_order_key(p[0], p[1]))
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -142,7 +157,11 @@ class GridTopKExecutor:
         while frontier:
             peak_frontier = max(peak_frontier, len(frontier))
             unseen_score, bid = frontier[0]
-            if topk.is_full() and topk.kth_score <= unseen_score:
+            # Strict halt: a block whose bound *equals* the k-th score may
+            # still hold a tied tuple with a smaller tid, which the
+            # canonical (score, tid) order must admit — only provably worse
+            # blocks are pruned.
+            if topk.is_full() and topk.kth_score < unseen_score:
                 break
             heapq.heappop(frontier)
             blocks_examined += 1

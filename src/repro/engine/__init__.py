@@ -65,7 +65,7 @@ from repro.engine.backends import (
     SkylineScanBackend,
     TableScanBackend,
 )
-from repro.engine.cache import LowerBoundCache
+from repro.engine.cache import LowerBoundCache, ResultCache, query_cache_key
 from repro.engine.executor import Executor
 from repro.engine.plan import KIND_JOIN, KIND_SKYLINE, KIND_TOPK, QueryPlan
 from repro.engine.planner import Planner
@@ -83,9 +83,11 @@ __all__ = [
     "Planner",
     "QueryPlan",
     "RankingCubeBackend",
+    "ResultCache",
     "SignatureCubeBackend",
     "SkylineBackend",
     "SkylineScanBackend",
     "TableScanBackend",
     "kind_of",
+    "query_cache_key",
 ]

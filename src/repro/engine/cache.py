@@ -1,4 +1,4 @@
-"""Shared per-(function, block) lower-bound cache.
+"""Engine caches: per-(function, block) lower bounds and whole query results.
 
 The grid query algorithm spends a large share of its work computing
 ``function.lower_bound(block_box)`` for every frontier block.  The bound
@@ -7,16 +7,40 @@ predicate or ``k`` — so a workload that reuses ranking functions (the
 batch API, benchmark sweeps, repeated user queries) can share bounds across
 queries.  :class:`LowerBoundCache` memoizes them with an LRU policy.
 
-The cache keys on object identity of the grid and the function.  Each
-entry holds a strong reference to the objects it keys on, so an ``id()``
-recycled by the allocator can never alias a live entry — and eviction
-releases the references along with the bound.
+The lower-bound cache keys on object identity of the grid and the function.
+Each entry holds a strong reference to the objects it keys on, so an
+``id()`` recycled by the allocator can never alias a live entry — and
+eviction releases the references along with the bound.
+
+:class:`ResultCache` sits one level up: it memoizes entire query results
+under a canonical *query key* (:func:`query_cache_key`) so a repeated query
+skips planning and execution altogether.  Because cached answers go stale
+when the data changes, anything that mutates the underlying relation (the
+shard manager's ``insert``/``reshard``, for example) must call
+:meth:`ResultCache.invalidate`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
+
 from collections import OrderedDict
-from typing import Tuple
+from typing import Optional, Tuple
+
+_scope_counter = itertools.count()
+
+
+def new_cache_scope() -> int:
+    """Process-unique salt isolating one executor's entries in a shared cache.
+
+    Query keys carry no relation identity, so executors over *different*
+    relations sharing one :class:`ResultCache` would otherwise serve each
+    other's answers.  Each executor prefixes its keys with its own scope
+    (a monotonic counter — unlike ``id()``, never recycled), making a
+    shared cache safe by construction.
+    """
+    return next(_scope_counter)
 
 
 class LowerBoundCache:
@@ -70,3 +94,142 @@ class LowerBoundCache:
 
     def __len__(self) -> int:
         return len(self._bounds)
+
+
+def _function_key(function) -> Optional[Tuple[object, ...]]:
+    """Canonical, value-based key of a ranking function, or ``None``.
+
+    Two function objects with the same type, dimensions, and parameters map
+    to the same key, so logically identical queries share one cache entry
+    even when their function objects differ.  Only an allowlist of types
+    whose ``weights`` / ``targets`` / ``constant`` attributes are known to
+    capture the *entire* function state is keyable — an exact-type check,
+    so a subclass carrying extra parameters never inherits cacheability.
+    Everything else (expression trees, custom subclasses) returns ``None``
+    and stays uncacheable, because an incomplete or lossy key could collide
+    two distinct functions and serve a wrong cached answer.
+    """
+    from repro.functions.distance import (
+        ManhattanDistanceFunction,
+        SquaredDistanceFunction,
+    )
+    from repro.functions.linear import LinearFunction, WeightedAverageFunction
+
+    if type(function) not in (LinearFunction, WeightedAverageFunction,
+                              SquaredDistanceFunction,
+                              ManhattanDistanceFunction):
+        return None
+    parts: list = [type(function).__qualname__, tuple(function.dims)]
+    for attr in ("weights", "targets", "constant"):
+        value = getattr(function, attr, None)
+        if value is None:
+            continue
+        if isinstance(value, (tuple, list)):
+            parts.append((attr, tuple(float(v) for v in value)))
+        else:
+            parts.append((attr, float(value)))
+    return tuple(parts)
+
+
+def query_cache_key(query) -> Optional[Tuple[object, ...]]:
+    """Canonical cache key of a query, or ``None`` when uncacheable.
+
+    The key canonicalizes the predicate (its conditions are already sorted
+    by dimension name), the ranking function (by value, see
+    :func:`_function_key`), and ``k`` — respectively the preference
+    dimensions and targets for skylines.  Join queries reference live
+    relation objects, and top-k queries whose function cannot be keyed
+    exactly, are not cached.
+    """
+    # Local imports keep this module free of heavyweight dependencies at
+    # import time (cache.py is imported by every engine entry point).
+    from repro.query import SkylineQuery, TopKQuery
+
+    if isinstance(query, TopKQuery):
+        function_key = _function_key(query.function)
+        if function_key is None:
+            return None
+        return ("topk", query.predicate.conditions, function_key, int(query.k))
+    if isinstance(query, SkylineQuery):
+        return ("skyline", query.predicate.conditions,
+                tuple(query.preference_dims),
+                tuple(query.targets) if query.targets is not None else None)
+    return None
+
+
+class ResultCache:
+    """LRU cache of whole query results, keyed by :func:`query_cache_key`.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached results; ``<= 0`` means unbounded.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._results: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key: Tuple[object, ...]):
+        """Return the cached result for ``key`` or ``None``, counting the lookup."""
+        cached = self._results.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._results.move_to_end(key)
+        return cached
+
+    def put(self, key: Tuple[object, ...], result) -> None:
+        """Store ``result`` under ``key``, evicting the LRU entry when full."""
+        self._results[key] = result
+        self._results.move_to_end(key)
+        if self.max_entries > 0:
+            while len(self._results) > self.max_entries:
+                self._results.popitem(last=False)
+
+    def lookup(self, key: Tuple[object, ...]):
+        """Cache-aware read: a marked copy of the hit, or ``None`` on miss.
+
+        Hits come back as copies (``extra`` rebuilt, tagged
+        ``result_cache="hit"``) so callers mutating the returned result can
+        never poison the cached original.
+        """
+        cached = self.get(key)
+        if cached is None:
+            return None
+        hit = dataclasses.replace(cached, extra=dict(cached.extra))
+        hit.extra["result_cache"] = "hit"
+        return hit
+
+    def store(self, key: Tuple[object, ...], result) -> None:
+        """Cache a fresh ``result`` (as a copy) and tag it as a miss."""
+        self.put(key, dataclasses.replace(result, extra=dict(result.extra)))
+        result.extra["result_cache"] = "miss"
+
+    def invalidate(self) -> None:
+        """Drop every cached result (the data underneath changed)."""
+        self._results.clear()
+        self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> "OrderedDict[str, float]":
+        """The ``result_*`` statistics block shared by every front door."""
+        return OrderedDict([
+            ("result_entries", float(len(self))),
+            ("result_hits", float(self.hits)),
+            ("result_misses", float(self.misses)),
+            ("result_hit_rate", self.hit_rate),
+            ("result_invalidations", float(self.invalidations)),
+        ])
+
+    def __len__(self) -> int:
+        return len(self._results)

@@ -21,21 +21,31 @@ from repro.engine.backends import (
     SkylineScanBackend,
     TableScanBackend,
 )
-from repro.engine.cache import LowerBoundCache
+from repro.engine.cache import (
+    LowerBoundCache,
+    ResultCache,
+    new_cache_scope,
+    query_cache_key,
+)
 from repro.engine.plan import QueryPlan
 from repro.engine.planner import Planner
 from repro.engine.registry import Backend, EngineRegistry
 
 
 class Executor:
-    """Front door over the registry/planner with a shared bound cache."""
+    """Front door over the registry/planner with shared bound/result caches."""
 
     def __init__(self, registry: Optional[EngineRegistry] = None,
                  planner: Optional[Planner] = None,
-                 bound_cache: Optional[LowerBoundCache] = None) -> None:
+                 bound_cache: Optional[LowerBoundCache] = None,
+                 result_cache: Optional[ResultCache] = None) -> None:
         self.registry = registry or EngineRegistry()
         self.planner = planner or Planner(self.registry)
         self.bound_cache = bound_cache or LowerBoundCache()
+        self.result_cache = result_cache or ResultCache()
+        self._cache_scope = new_cache_scope()
+        self._watched_relations: List[Relation] = []
+        self._watched_versions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # registration
@@ -58,12 +68,30 @@ class Executor:
         return self.planner.explain(query)
 
     def execute(self, query):
-        """Plan ``query``, run it on the chosen backend, annotate the result."""
+        """Plan ``query``, run it on the chosen backend, annotate the result.
+
+        Results of cacheable queries (top-k and skyline) are memoized in
+        :attr:`result_cache` under their canonical query key; a repeat of
+        the same logical query — same predicate, same function by value,
+        same ``k`` — returns the cached answer without planning or
+        execution (``extra["result_cache"]`` says which happened).  Cached
+        results keep the statistics of the run that produced them.
+        """
+        key = query_cache_key(query)
+        if key is not None:
+            key = (self._cache_scope,) + key
+            if self._watched_mutated():
+                self.result_cache.invalidate()
+            hit = self.result_cache.lookup(key)
+            if hit is not None:
+                return hit
         plan = self.planner.plan(query)
         backend = self.registry.get(plan.backend)
         result = backend.run(query)
         result.extra["backend"] = plan.backend
         result.extra["plan"] = plan.describe()
+        if key is not None:
+            self.result_cache.store(key, result)
         return result
 
     def execute_many(self, queries: Iterable) -> List:
@@ -76,13 +104,50 @@ class Executor:
         return [self.execute(query) for query in queries]
 
     def cache_stats(self) -> Dict[str, float]:
-        """Hit/miss statistics of the shared lower-bound cache."""
-        return {
+        """Hit/miss statistics of the lower-bound and result caches."""
+        stats = {
             "entries": float(len(self.bound_cache)),
             "hits": float(self.bound_cache.hits),
             "misses": float(self.bound_cache.misses),
             "hit_rate": self.bound_cache.hit_rate,
         }
+        stats.update(self.result_cache.stats())
+        return stats
+
+    def invalidate_results(self) -> None:
+        """Drop cached query results; call after the underlying data changed.
+
+        The shard manager invokes this on every ``insert``/``reshard`` so a
+        stale answer can never be served after a mutation.
+        """
+        self.result_cache.invalidate()
+
+    def watch_relation(self, relation: Relation) -> None:
+        """Auto-invalidate cached results whenever ``relation`` mutates.
+
+        ``for_relation`` / ``for_system`` wire this up for the relations
+        they build over, so after a direct ``Relation.append`` (the
+        incremental maintenance path) the next execution re-runs instead of
+        replaying a pre-mutation answer.  Scope of the guarantee: the
+        result cache never adds staleness *beyond the backends themselves*
+        — backends with static indexes (the grid cube's block table, a
+        pre-built R-tree) still answer from the data they were built over
+        until rebuilt or maintained through their own insert paths.
+        Custom stacks should call this for every relation their backends
+        serve.
+        """
+        if id(relation) not in self._watched_versions:
+            self._watched_relations.append(relation)
+            self._watched_versions[id(relation)] = relation.version
+
+    def _watched_mutated(self) -> bool:
+        """Whether any watched relation changed since the last check."""
+        changed = False
+        for relation in self._watched_relations:
+            if self._watched_versions[id(relation)] != relation.version:
+                self._watched_versions[id(relation)] = relation.version
+                changed = True
+        return changed
 
     # ------------------------------------------------------------------
     # convenience constructors
@@ -103,6 +168,14 @@ class Executor:
         R-tree / signature construction cost entirely.
         ``include_fragments`` additionally registers the ranking-fragments
         variant of the cube under the name ``"fragments"``.
+
+        The signature top-k backend (Chapter 4) and the signature-pruned
+        skyline backend (Chapter 7) run over the *same*
+        :class:`~repro.signature.SignatureRankingCube` — one R-tree, one
+        signature store.  Enabling either flag builds that structure exactly
+        once; enabling both shares it, paying no duplicate construction
+        cost, and with ``with_signature=False`` the top-k executor over it
+        is simply never instantiated.
         """
         from repro.baselines import TableScanTopK
         from repro.cube import RankingCube, build_ranking_fragments
@@ -115,20 +188,24 @@ class Executor:
                 relation, fragment_size=fragment_size, block_size=block_size)
             executor.register(
                 RankingCubeBackend(fragments, name="fragments", priority=15))
+        signature = None
         if with_signature or with_skyline:
-            from repro.signature import SignatureRankingCube, SignatureTopKExecutor
+            from repro.signature import SignatureRankingCube
 
             signature = SignatureRankingCube(relation,
                                              rtree_max_entries=rtree_max_entries)
-            if with_signature:
-                executor.register(
-                    SignatureCubeBackend(SignatureTopKExecutor(signature)))
+        if with_signature:
+            from repro.signature import SignatureTopKExecutor
+
+            executor.register(
+                SignatureCubeBackend(SignatureTopKExecutor(signature)))
         executor.register(TableScanBackend(TableScanTopK(relation)))
         if with_skyline:
             from repro.skyline import BooleanFirstSkyline, SkylineEngine
 
             executor.register(SkylineBackend(SkylineEngine(signature)))
             executor.register(SkylineScanBackend(BooleanFirstSkyline(relation)))
+        executor.watch_relation(relation)
         return executor
 
     def register_join_system(self, system, name: str = "index-merge") -> Backend:
@@ -150,4 +227,6 @@ class Executor:
         system = RankingCubeJoinSystem(relations,
                                        rtree_max_entries=rtree_max_entries)
         executor.register_join_system(system)
+        for relation in relations:
+            executor.watch_relation(relation)
         return executor

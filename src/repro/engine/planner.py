@@ -31,7 +31,11 @@ class Planner:
         serving = self.registry.backends_for(kind)
         if not serving:
             raise PlanningError(f"no backend registered for {kind!r} queries")
-        candidates = [b for b in serving if b.supports(query)]
+        # Deterministic selection: (priority, name) is a total order over
+        # backends, so the winner never depends on registration order even
+        # when two candidates share a priority.
+        candidates = sorted((b for b in serving if b.supports(query)),
+                            key=lambda b: (b.priority, b.name))
         if not candidates:
             raise PlanningError(
                 f"none of the registered {kind!r} backends "
@@ -41,6 +45,9 @@ class Planner:
                 f"of the target relation")
         chosen = candidates[0]
         details = dict(self._query_details(kind, query))
+        if len(candidates) > 1:
+            details["losing_candidates"] = ",".join(
+                f"{b.name}:{b.priority}" for b in candidates[1:])
         details.update(chosen.plan_details(query))
         return QueryPlan(
             backend=chosen.name,

@@ -83,7 +83,10 @@ class IndexMergeTopK:
                 entry[3].pending for entry in g_heap if entry[3] is not None)
             peak_heap = max(peak_heap, len(g_heap) + local_pending)
             bound, _, state, expander = heapq.heappop(g_heap)
-            if topk.is_full() and topk.kth_score <= bound:
+            # Strict halt: a state whose bound ties the k-th score may still
+            # yield a tied tuple with a smaller tid, which the canonical
+            # (score, tid) order must admit.
+            if topk.is_full() and topk.kth_score < bound:
                 break
 
             if state.is_leaf:

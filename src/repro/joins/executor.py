@@ -131,7 +131,9 @@ class RankJoinExecutor:
                 try_join(name, entry)
             if not progressed:
                 break
-            if len(results) >= self.query.k and kth_score() <= threshold():
+            # Strict halt: a join result tying the k-th score may still win
+            # the canonical (score, tid) tie-break.
+            if len(results) >= self.query.k and kth_score() < threshold():
                 break
 
         elapsed = time.perf_counter() - start

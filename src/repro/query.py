@@ -76,6 +76,18 @@ class Predicate:
         return len(self.conditions)
 
 
+def topk_order_key(tid: int, score: float) -> Tuple[float, int]:
+    """Canonical total order of top-k answers: ``(score, tid)``.
+
+    Every top-k engine ranks by ascending score and breaks score ties by
+    ascending tuple id.  Centralizing the key makes the tie-break stable
+    across backends — and across shards, whose per-shard answers are merged
+    by exactly this key — so one query has one well-defined answer list no
+    matter which execution path produced it.
+    """
+    return (float(score), int(tid))
+
+
 @dataclass(frozen=True)
 class TopKQuery:
     """A top-k query: boolean predicate + ranking function + k."""

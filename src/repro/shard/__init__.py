@@ -1,0 +1,52 @@
+"""Sharded execution: shard manager, statistics-driven pruning, scatter/gather.
+
+This package scales the single-relation engine horizontally without new
+entry points:
+
+* :class:`~repro.shard.policy.ShardingPolicy` — how rows spread over N
+  shards (:class:`~repro.shard.policy.HashShardingPolicy` hash-by-row, or
+  :class:`~repro.shard.policy.RangeShardingPolicy` contiguous value ranges
+  via the equi-width / equi-depth partitioners);
+* :class:`~repro.shard.manager.ShardManager` — materializes the per-shard
+  sub-relations, their :class:`~repro.shard.stats.ShardStatistics`, and
+  lazily-built per-shard engine stacks (``Executor.for_relation``), and
+  routes ``insert``/``reshard`` with cache invalidation;
+* :class:`~repro.shard.scatter.ScatterGatherExecutor` — the same
+  ``execute`` / ``execute_many`` / ``plan`` / ``explain`` surface as
+  :class:`repro.engine.Executor`: statistics-prune shards, scatter the
+  query (optionally on a thread pool), k-way-merge top-k answers under the
+  canonical ``(score, tid)`` order, and re-check skylines for cross-shard
+  dominance.
+
+Usage::
+
+    from repro.shard import (
+        HashShardingPolicy, RangeShardingPolicy, ScatterGatherExecutor,
+        ShardManager,
+    )
+
+    manager = ShardManager(relation, RangeShardingPolicy(relation, "A1", 4))
+    engine = ScatterGatherExecutor(manager, parallel=True)
+    result = engine.execute(query)          # identical to the unsharded answer
+    print(result.extra["shards_pruned"])    # why shards were skipped
+    print(result.extra["shard_backends"])   # what each consulted shard ran
+"""
+
+from repro.shard.manager import Shard, ShardManager
+from repro.shard.policy import (
+    HashShardingPolicy,
+    RangeShardingPolicy,
+    ShardingPolicy,
+)
+from repro.shard.scatter import ScatterGatherExecutor
+from repro.shard.stats import ShardStatistics
+
+__all__ = [
+    "HashShardingPolicy",
+    "RangeShardingPolicy",
+    "ScatterGatherExecutor",
+    "Shard",
+    "ShardManager",
+    "ShardStatistics",
+    "ShardingPolicy",
+]

@@ -1,0 +1,176 @@
+"""The shard manager: split a relation, own per-shard engine stacks.
+
+:class:`ShardManager` applies a :class:`~repro.shard.policy.ShardingPolicy`
+to a relation, materializes one sub-relation per shard (rows keep their
+relative order, so a shard's local tid order is also its global tid order),
+computes :class:`~repro.shard.stats.ShardStatistics`, and builds the
+per-shard engine stacks lazily through ``Executor.for_relation`` — a shard
+the planner always prunes never pays index construction.
+
+Mutation goes through the manager: :meth:`insert` routes a new row to its
+owning shard and :meth:`reshard` re-splits under a new policy.  Both drop
+the affected per-shard stacks and fire the registered invalidation hooks so
+every result cache layered on top (per-shard and scatter/gather) is cleared
+before a stale answer can be served.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.engine import Executor
+from repro.errors import PlanningError
+from repro.shard.policy import ShardingPolicy
+from repro.shard.stats import ShardStatistics
+from repro.storage.table import Relation
+
+
+@dataclass
+class Shard:
+    """One horizontal slice of the base relation."""
+
+    index: int
+    relation: Relation
+    #: Global tid of every local row, ascending (local tid ``i`` is global
+    #: tid ``tid_map[i]``).
+    tid_map: np.ndarray
+    stats: ShardStatistics
+
+
+class ShardManager:
+    """Splits a relation into shards and owns their engine stacks.
+
+    ``executor_factory`` customizes how a shard's engine stack is built; it
+    receives the shard's relation and must return an
+    :class:`~repro.engine.Executor`.  By default
+    ``Executor.for_relation(shard.relation, **executor_kwargs)`` is used.
+    """
+
+    def __init__(self, relation: Relation, policy: ShardingPolicy,
+                 executor_factory: Optional[Callable[[Relation], Executor]] = None,
+                 **executor_kwargs: object) -> None:
+        self.relation = relation
+        self.policy = policy
+        self._executor_factory = executor_factory
+        self._executor_kwargs = executor_kwargs
+        self._executors: Dict[int, Executor] = {}
+        self._invalidation_hooks: List[Callable[[], None]] = []
+        self.shards: List[Shard] = []
+        self._split()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _split(self) -> None:
+        assignment = self.policy.assign(self.relation)
+        if assignment.shape != (self.relation.num_tuples,):
+            raise PlanningError("policy assignment must cover every row once")
+        if assignment.size and (assignment.min() < 0
+                                or assignment.max() >= self.policy.num_shards):
+            raise PlanningError(
+                f"policy assigned shard indexes outside "
+                f"[0, {self.policy.num_shards}); rows would be silently lost")
+        shards: List[Shard] = []
+        selection = self.relation.selection_matrix()
+        ranking = self.relation.ranking_matrix()
+        for index in range(self.policy.num_shards):
+            tid_map = np.nonzero(assignment == index)[0]
+            sub = Relation(
+                self.relation.schema,
+                selection[tid_map].copy(),
+                ranking[tid_map].copy(),
+                name=f"{self.relation.name}#s{index}",
+            )
+            shards.append(Shard(index=index, relation=sub, tid_map=tid_map,
+                                stats=ShardStatistics.of(index, sub)))
+        self.shards = shards
+        self._executors.clear()
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards under management."""
+        return self.policy.num_shards
+
+    def executor_for(self, shard: Shard) -> Executor:
+        """The shard's engine stack, built on first use and then reused."""
+        executor = self._executors.get(shard.index)
+        if executor is None:
+            if self._executor_factory is not None:
+                executor = self._executor_factory(shard.relation)
+            else:
+                executor = Executor.for_relation(shard.relation,
+                                                 **self._executor_kwargs)
+            self._executors[shard.index] = executor
+        return executor
+
+    # ------------------------------------------------------------------
+    # invalidation plumbing
+    # ------------------------------------------------------------------
+    def add_invalidation_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback fired whenever managed data changes.
+
+        Bound methods are held via :class:`weakref.WeakMethod`, so a
+        discarded caller (e.g. a per-request scatter/gather executor) is
+        dropped automatically instead of leaking through the manager; plain
+        callables are held strongly.
+        """
+        try:
+            self._invalidation_hooks.append(weakref.WeakMethod(hook))
+        except TypeError:
+            self._invalidation_hooks.append(lambda: hook)
+
+    def _invalidate(self) -> None:
+        for executor in self._executors.values():
+            executor.invalidate_results()
+        alive = []
+        for ref in self._invalidation_hooks:
+            hook = ref()
+            if hook is not None:
+                hook()
+                alive.append(ref)
+        self._invalidation_hooks = alive
+
+    def invalidate_caches(self) -> None:
+        """Flush every result cache in the stack: per-shard and hooked.
+
+        Mutations call this automatically; benchmarks call it explicitly to
+        time real scatter/gather execution instead of memoized answers.
+        """
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Mapping[str, object]) -> int:
+        """Append ``row`` to the base relation and its owning shard.
+
+        Returns the new global tid.  The owning shard's engine stack is
+        dropped (its indexes no longer cover the shard) and every
+        invalidation hook fires, so no cached result survives the insert.
+        """
+        global_tid = self.relation.append(row)
+        owner = self.policy.shard_for_row(self.relation, row, global_tid)
+        shard = self.shards[owner]
+        shard.relation.append(row)
+        shard.tid_map = np.append(shard.tid_map, global_tid)
+        if shard.relation.num_tuples == 1:
+            # First row of a previously empty shard: initialize the stats
+            # (ranking ranges have no empty-shard representation to fold
+            # into); afterwards inserts fold in incrementally in O(dims).
+            shard.stats = ShardStatistics.of(owner, shard.relation)
+        else:
+            shard.stats.add_row(row)
+        self._executors.pop(owner, None)
+        self._invalidate()
+        return global_tid
+
+    def reshard(self, policy: ShardingPolicy) -> None:
+        """Re-split the base relation under ``policy``, dropping all stacks."""
+        self.policy = policy
+        self._split()
+        self._invalidate()

@@ -1,0 +1,279 @@
+"""Scatter/gather execution over a sharded relation.
+
+:class:`ScatterGatherExecutor` exposes the same ``execute`` /
+``execute_many`` / ``plan`` / ``explain`` surface as the single-relation
+:class:`~repro.engine.Executor`, but behind it a query is
+
+1. *pruned* — shards whose :class:`~repro.shard.stats.ShardStatistics`
+   prove the predicate unsatisfiable are skipped before any backend runs;
+2. *scattered* — surviving shards execute the query through their own
+   engine stacks (optionally on a thread pool; each shard's stack is an
+   independent object graph, so shards run concurrently without sharing);
+3. *gathered* — per-shard top-k answers are k-way merged under the
+   canonical :func:`repro.query.topk_order_key` order, and per-shard
+   skylines are re-checked for cross-shard dominance (a point on one
+   shard's local skyline may be dominated by another shard's point).
+
+The gathered result's ``extra`` records the shards consulted, the shards
+pruned with their reasons, and the backend each consulted shard chose — the
+whole scatter is explainable end-to-end, just like a single-engine plan.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.cache import ResultCache, new_cache_scope, query_cache_key
+from repro.engine.plan import KIND_SKYLINE, KIND_TOPK, QueryPlan
+from repro.engine.registry import kind_of
+from repro.errors import PlanningError
+from repro.query import QueryResult, topk_order_key
+from repro.shard.manager import Shard, ShardManager
+from repro.skyline.dominance import skyline_of, transform_dynamic
+from repro.skyline.engine import SkylineResult
+
+
+class ScatterGatherExecutor:
+    """Executor facade that scatters queries across shards and merges answers.
+
+    Parameters
+    ----------
+    manager:
+        The :class:`~repro.shard.manager.ShardManager` owning the shards.
+    parallel:
+        Run surviving shards on a :class:`ThreadPoolExecutor` instead of
+        sequentially.  Gathered results are identical either way — the merge
+        consumes per-shard answers in shard order.
+    max_workers:
+        Thread-pool size when ``parallel`` (default: one per shard).
+    """
+
+    def __init__(self, manager: ShardManager, parallel: bool = False,
+                 max_workers: Optional[int] = None,
+                 result_cache: Optional[ResultCache] = None) -> None:
+        self.manager = manager
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.result_cache = result_cache or ResultCache()
+        self._cache_scope = new_cache_scope()
+        self._relation_version = manager.relation.version
+        self._pool: Optional[ThreadPoolExecutor] = None
+        manager.add_invalidation_hook(self.result_cache.invalidate)
+
+    def _check_base_relation(self) -> None:
+        """Detect base-relation mutation and refuse to serve from stale shards.
+
+        Mutations routed through the manager keep the shard sub-relations in
+        sync; a direct ``Relation.append`` on the base relation does not, so
+        answers computed from the shards would silently miss the new rows.
+        Detect the version change, drop the result cache, and — if the shard
+        row counts no longer add up — fail loudly instead of wrongly.
+        """
+        if self.manager.relation.version == self._relation_version:
+            return
+        total = sum(s.relation.num_tuples for s in self.manager.shards)
+        if total != self.manager.relation.num_tuples:
+            # Do NOT record the new version: every subsequent call must
+            # re-detect the desync and keep raising until reshard() (or a
+            # manager-routed insert) restores coverage.
+            raise PlanningError(
+                "the base relation was mutated outside the ShardManager "
+                "(shard row counts no longer cover it); route inserts "
+                "through ShardManager.insert() or call reshard()")
+        self._relation_version = self.manager.relation.version
+        self.result_cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # shard pruning
+    # ------------------------------------------------------------------
+    def _scatter_set(self, query) -> Tuple[List[Shard], List[Tuple[int, str]]]:
+        """Split shards into (consulted, pruned-with-reason) for ``query``."""
+        kind = kind_of(query)
+        if kind not in (KIND_TOPK, KIND_SKYLINE):
+            raise PlanningError(
+                f"scatter/gather serves top-k and skyline queries, not {kind!r}")
+        consulted: List[Shard] = []
+        pruned: List[Tuple[int, str]] = []
+        for shard in self.manager.shards:
+            ok, reason = shard.stats.can_match(query.predicate)
+            if ok:
+                consulted.append(shard)
+            else:
+                pruned.append((shard.index, reason or "pruned"))
+        return consulted, pruned
+
+    def _scatter_details(self, consulted: List[Shard],
+                         pruned: List[Tuple[int, str]],
+                         shard_backends: Dict[int, str]) -> Dict[str, object]:
+        """One rendering of the scatter set, shared by plans and results."""
+        return {
+            "policy": self.manager.policy.describe(),
+            "shards_total": self.manager.num_shards,
+            "shards_consulted": ",".join(str(s.index) for s in consulted) or "-",
+            "shards_pruned": "|".join(
+                f"{index}:{reason}" for index, reason in pruned) or "-",
+            "shard_backends": ",".join(
+                f"{index}:{name}" for index, name in sorted(shard_backends.items()))
+                or "-",
+        }
+
+    # ------------------------------------------------------------------
+    # planning / explain
+    # ------------------------------------------------------------------
+    def plan(self, query) -> QueryPlan:
+        """The gathered plan: scatter set, prune reasons, per-shard backends.
+
+        Planning consults the surviving shards' own planners (building
+        their stacks if needed) so the per-shard backend choice is exact,
+        not guessed.
+        """
+        self._check_base_relation()
+        consulted, pruned = self._scatter_set(query)
+        shard_backends = {
+            shard.index: self.manager.executor_for(shard).plan(query).backend
+            for shard in consulted
+        }
+        return QueryPlan(
+            backend="scatter-gather",
+            query_kind=kind_of(query),
+            reason=(f"scatter to {len(consulted)}/{self.manager.num_shards} shards "
+                    f"under {self.manager.policy.describe()}, "
+                    f"{len(pruned)} pruned by statistics"),
+            details=self._scatter_details(consulted, pruned, shard_backends),
+            candidates=tuple(f"shard{s.index}" for s in consulted),
+        )
+
+    def explain(self, query) -> str:
+        """One-line explanation of how ``query`` scatters."""
+        return self.plan(query).describe()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, query):
+        """Prune, scatter, execute per shard, and gather one merged result."""
+        self._check_base_relation()
+        key = query_cache_key(query)
+        if key is not None:
+            key = (self._cache_scope,) + key
+            hit = self.result_cache.lookup(key)
+            if hit is not None:
+                return hit
+        start = time.perf_counter()
+        consulted, pruned = self._scatter_set(query)
+        shard_results = self._run_shards(consulted, query)
+        kind = kind_of(query)
+        if kind == KIND_TOPK:
+            result = self._gather_topk(query, consulted, shard_results)
+        else:
+            result = self._gather_skyline(query, consulted, shard_results)
+        result.elapsed_seconds = time.perf_counter() - start
+        shard_backends = {
+            shard.index: str(res.extra.get("backend", "?"))
+            for shard, res in zip(consulted, shard_results)
+        }
+        result.extra["backend"] = "scatter-gather"
+        result.extra.update(
+            self._scatter_details(consulted, pruned, shard_backends))
+        result.extra["plan"] = (
+            f"scatter to {len(consulted)}/{self.manager.num_shards} shards "
+            f"[policy={result.extra['policy']} "
+            f"pruned={result.extra['shards_pruned']} "
+            f"backends={result.extra['shard_backends']}]")
+        if key is not None:
+            self.result_cache.store(key, result)
+        return result
+
+    def execute_many(self, queries: Iterable) -> List:
+        """Execute a batch of queries, in submission order."""
+        return [self.execute(query) for query in queries]
+
+    def _run_shards(self, consulted: List[Shard], query) -> List:
+        """Per-shard results aligned with ``consulted``.
+
+        The thread pool is created once on first parallel use and reused
+        for the executor's lifetime — per-query pool startup would dominate
+        small scattered queries.
+        """
+        if self.parallel and len(consulted) > 1:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers or self.manager.num_shards)
+            return list(self._pool.map(
+                lambda shard: self.manager.executor_for(shard).execute(query),
+                consulted))
+        return [self.manager.executor_for(shard).execute(query)
+                for shard in consulted]
+
+    # ------------------------------------------------------------------
+    # gathering
+    # ------------------------------------------------------------------
+    def _gather_topk(self, query, consulted: List[Shard],
+                     shard_results: List[QueryResult]) -> QueryResult:
+        """K-way merge of per-shard top-k lists under ``(score, tid)``.
+
+        Each shard's answer is already sorted by ``(score, local tid)`` and
+        the shard's tid map is ascending, so mapping local to global tids
+        preserves the canonical order — the merged prefix of length k is
+        exactly the global top-k a single-relation engine would return.
+        """
+        streams = []
+        for shard, result in zip(consulted, shard_results):
+            streams.append([
+                topk_order_key(int(shard.tid_map[local_tid]), score)
+                for local_tid, score in zip(result.tids, result.scores)
+            ])
+        merged = heapq.merge(*streams)
+        top: List[Tuple[int, float]] = []
+        for score, tid in merged:
+            top.append((tid, score))
+            if len(top) >= query.k:
+                break
+        return QueryResult(
+            tids=tuple(tid for tid, _ in top),
+            scores=tuple(score for _, score in top),
+            disk_accesses=sum(r.disk_accesses for r in shard_results),
+            states_generated=sum(r.states_generated for r in shard_results),
+            peak_heap_size=max((r.peak_heap_size for r in shard_results), default=0),
+            tuples_evaluated=sum(r.tuples_evaluated for r in shard_results),
+        )
+
+    def _gather_skyline(self, query, consulted: List[Shard],
+                        shard_results: List[SkylineResult]) -> SkylineResult:
+        """Cross-shard dominance re-check over the union of local skylines.
+
+        The global skyline is a subset of the union of shard-local skylines
+        (a globally undominated point is undominated within its shard), so
+        re-running the dominance test over the union — in the query's
+        mapped space for dynamic skylines — yields exactly the answer a
+        single-relation engine computes.
+        """
+        targets = list(query.targets) if query.targets is not None else None
+        global_tids = [int(shard.tid_map[local_tid])
+                       for shard, result in zip(consulted, shard_results)
+                       for local_tid in result.tids]
+        candidates: List[Tuple[int, Tuple[float, ...]]] = []
+        if global_tids:
+            values = self.manager.relation.ranking_values_bulk(
+                global_tids, query.preference_dims)
+            candidates = [(tid, transform_dynamic(row, targets))
+                          for tid, row in zip(global_tids, values)]
+        survivors = skyline_of(candidates)
+        return SkylineResult(
+            tids=tuple(sorted(tid for tid, _ in survivors)),
+            disk_accesses=sum(r.disk_accesses for r in shard_results),
+            signature_accesses=sum(r.signature_accesses for r in shard_results),
+            peak_heap_size=max((r.peak_heap_size for r in shard_results), default=0),
+            nodes_expanded=sum(r.nodes_expanded for r in shard_results),
+            extra={"cross_shard_candidates": float(len(candidates))},
+        )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss statistics of the scatter-level result cache."""
+        return dict(self.result_cache.stats())

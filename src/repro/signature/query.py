@@ -53,7 +53,10 @@ class SignatureTopKExecutor:
         while heap:
             peak_heap = max(peak_heap, len(heap))
             bound, _, node = heapq.heappop(heap)
-            if topk.is_full() and topk.kth_score <= bound:
+            # Strict halt/skip (here and below): a node whose bound equals
+            # the k-th score may hold a tied tuple with a smaller tid, which
+            # the canonical (score, tid) order must admit.
+            if topk.is_full() and topk.kth_score < bound:
                 break
             states += 1
             if node.is_leaf:
@@ -68,7 +71,7 @@ class SignatureTopKExecutor:
                     if reader is not None and not reader.test(child.path):
                         continue
                     child_bound = function.lower_bound(child.box)
-                    if topk.is_full() and child_bound >= topk.kth_score:
+                    if topk.is_full() and child_bound > topk.kth_score:
                         continue
                     counter += 1
                     heapq.heappush(heap, (child_bound, counter, child))

@@ -111,6 +111,7 @@ class Relation:
         self.name = name
         self._selection = selection_data
         self._ranking = ranking_data
+        self._version = 0
 
     # ------------------------------------------------------------------
     # constructors
@@ -140,6 +141,15 @@ class Relation:
     def num_tuples(self) -> int:
         """Number of tuples (``T`` in the thesis)."""
         return self._selection.shape[0]
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by :meth:`append`.
+
+        Caches layered over the relation (the engine's result cache)
+        compare versions to detect that their entries went stale.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return self.num_tuples
@@ -236,6 +246,7 @@ class Relation:
         )
         self._selection = np.vstack([self._selection, selection])
         self._ranking = np.vstack([self._ranking, ranking])
+        self._version += 1
         return self.num_tuples - 1
 
     def project(self, selection_dims: Sequence[str],

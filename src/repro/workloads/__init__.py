@@ -5,6 +5,10 @@ from repro.workloads.covertype import (
     COVERTYPE_SELECTION_CARDINALITIES,
     make_covertype_like,
 )
+from repro.workloads.sharded import (
+    make_sharded_engine,
+    pruned_predicate_queries,
+)
 from repro.workloads.synthetic import (
     DISTRIBUTIONS,
     QuerySpec,
@@ -27,6 +31,8 @@ __all__ = [
     "generate_queries",
     "generate_relation",
     "make_ranking_function",
+    "make_sharded_engine",
+    "pruned_predicate_queries",
     "random_predicate",
     "ranking_dim_names",
     "selection_dim_names",

@@ -52,6 +52,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig3.4" in out and "fig7.6" in out
 
+    def test_demo_sharded(self, capsys):
+        assert main(["demo", "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scatter/gather over 3 range shards" in out
+        assert "backend: scatter-gather" in out
+        assert "shards consulted:" in out
+
     def test_demo(self, capsys):
         assert main(["demo"]) == 0
         out = capsys.readouterr().out

@@ -284,6 +284,194 @@ class TestBoundCacheAndBatch:
                 assert a.scores == b.scores
 
 
+class TestResultCache:
+    def test_repeat_query_hits_and_matches(self, relation):
+        executor = Executor.for_relation(relation, block_size=200,
+                                         rtree_max_entries=16)
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 2.0]), 5)
+        first = executor.execute(query)
+        assert first.extra["result_cache"] == "miss"
+        # A logically identical query (new objects) is served from cache.
+        twin = TopKQuery(Predicate.of(A1=1),
+                         LinearFunction(["N1", "N2"], [1.0, 2.0]), 5)
+        second = executor.execute(twin)
+        assert second.extra["result_cache"] == "hit"
+        assert second.tids == first.tids
+        assert second.scores == first.scores
+        stats = executor.cache_stats()
+        assert stats["result_hits"] == 1.0
+        assert stats["result_misses"] == 1.0
+        assert stats["result_hit_rate"] == 0.5
+
+    def test_cached_result_copies_do_not_alias(self, relation):
+        executor = Executor.for_relation(relation, block_size=200,
+                                         rtree_max_entries=16)
+        query = SkylineQuery(Predicate.of(A1=1), ("N1", "N2"))
+        first = executor.execute(query)
+        first.extra["poison"] = True
+        second = executor.execute(query)
+        assert second.extra["result_cache"] == "hit"
+        assert "poison" not in second.extra
+
+    def test_invalidate_results_drops_entries(self, relation):
+        executor = Executor.for_relation(relation, block_size=200,
+                                         rtree_max_entries=16)
+        query = TopKQuery(Predicate.of(A2=1),
+                          LinearFunction(["N1"], [1.0]), 3)
+        executor.execute(query)
+        assert executor.cache_stats()["result_entries"] == 1.0
+        executor.invalidate_results()
+        assert executor.cache_stats()["result_entries"] == 0.0
+        assert executor.execute(query).extra["result_cache"] == "miss"
+
+    def test_key_distinguishes_predicate_function_and_k(self, relation):
+        from repro.engine import query_cache_key
+
+        base = TopKQuery(Predicate.of(A1=1),
+                         LinearFunction(["N1", "N2"], [1.0, 2.0]), 5)
+        same = TopKQuery(Predicate.of(A1=1),
+                         LinearFunction(["N1", "N2"], [1.0, 2.0]), 5)
+        assert query_cache_key(base) == query_cache_key(same)
+        assert query_cache_key(base) != query_cache_key(
+            TopKQuery(Predicate.of(A1=2),
+                      LinearFunction(["N1", "N2"], [1.0, 2.0]), 5))
+        assert query_cache_key(base) != query_cache_key(
+            TopKQuery(Predicate.of(A1=1),
+                      LinearFunction(["N1", "N2"], [1.0, 3.0]), 5))
+        assert query_cache_key(base) != query_cache_key(
+            TopKQuery(Predicate.of(A1=1),
+                      LinearFunction(["N1", "N2"], [1.0, 2.0]), 6))
+        sky = SkylineQuery(Predicate.of(A1=1), ("N1", "N2"))
+        assert query_cache_key(sky) == query_cache_key(
+            SkylineQuery(Predicate.of(A1=1), ("N1", "N2")))
+        assert query_cache_key(sky) != query_cache_key(
+            SkylineQuery(Predicate.of(A1=1), ("N1", "N2"), targets=(0.1, 0.2)))
+
+    def test_shared_result_cache_is_scoped_per_executor(self):
+        from repro.baselines import TableScanTopK
+        from repro.engine import ResultCache
+        from repro.engine.backends import TableScanBackend
+
+        r1 = generate_relation(SyntheticSpec(num_tuples=300, num_selection_dims=2,
+                                             num_ranking_dims=2, cardinality=4,
+                                             seed=41), name="R1")
+        r2 = generate_relation(SyntheticSpec(num_tuples=300, num_selection_dims=2,
+                                             num_ranking_dims=2, cardinality=4,
+                                             seed=42), name="R2")
+        shared = ResultCache()
+        executors = []
+        for rel in (r1, r2):
+            executor = Executor(result_cache=shared)
+            executor.register(TableScanBackend(TableScanTopK(rel)))
+            executors.append(executor)
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 5)
+        first = executors[0].execute(query)
+        second = executors[1].execute(query)
+        # Same cache object, same query — but scoped keys keep the two
+        # relations' answers apart.
+        assert second.extra["result_cache"] == "miss"
+        assert first.tids != second.tids
+
+    def test_direct_append_invalidates_watched_cache(self):
+        relation = generate_relation(SyntheticSpec(num_tuples=500,
+                                                   num_selection_dims=2,
+                                                   num_ranking_dims=2,
+                                                   cardinality=4, seed=31))
+        executor = Executor.for_relation(relation, block_size=100,
+                                         rtree_max_entries=16,
+                                         with_signature=False,
+                                         with_skyline=False)
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 3)
+        executor.execute(query)
+        # Mutate the relation directly (the incremental-maintenance path):
+        # the next execution must re-run, not serve the stale cached answer.
+        new_tid = relation.append({"A1": 1, "A2": 0, "N1": 0.0, "N2": 0.0})
+        executor.registry.unregister("ranking-cube")  # cube predates the row
+        result = executor.execute(query)
+        assert result.extra["result_cache"] == "miss"
+        assert result.tids[0] == new_tid
+
+    def test_unkeyable_function_is_never_cached(self, relation, executor):
+        from repro.engine import query_cache_key
+
+        # PerTupleFunction exposes no exact parameter attributes, so its
+        # queries must stay uncacheable rather than risk a key collision.
+        query = TopKQuery(Predicate.of(A1=1),
+                          PerTupleFunction(LinearFunction(["N1", "N2"],
+                                                          [1.0, 1.0])), 3)
+        assert query_cache_key(query) is None
+        result = executor.execute(query)
+        assert "result_cache" not in result.extra
+
+
+class TestDeterministicPlanning:
+    def test_equal_priority_breaks_ties_by_name(self, relation):
+        from repro.baselines import TableScanTopK
+        from repro.engine.backends import TableScanBackend
+
+        scanner = TableScanTopK(relation)
+        query = TopKQuery(Predicate.of(), LinearFunction(["N1"], [1.0]), 3)
+        # Register the same-priority backends in both orders: the winner
+        # must be the lexicographically first name either way.
+        for names in (("b-scan", "a-scan"), ("a-scan", "b-scan")):
+            executor = Executor()
+            for name in names:
+                executor.register(TableScanBackend(scanner, name=name, priority=50))
+            assert executor.plan(query).backend == "a-scan"
+
+    def test_losing_candidates_and_priorities_recorded(self, executor):
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 3)
+        plan = executor.plan(query)
+        assert plan.details["losing_candidates"] == "signature-cube:20,table-scan:90"
+        assert plan.candidates == ("ranking-cube", "signature-cube", "table-scan")
+
+
+class TestTieBreakAcrossBackends:
+    def test_boundary_ties_agree_across_backends(self):
+        from repro.functions.linear import sum_function
+        from repro.storage.table import Relation, Schema
+
+        # Quantized ranking values force exact score ties at the k-th
+        # boundary; every top-k backend must admit the same small-tid
+        # winners under the canonical (score, tid) order, even when a
+        # block/node bound exactly equals the k-th score.
+        schema = Schema(("A",), ("X", "Y"))
+        rows = [{"A": i % 2, "X": (i % 4) * 0.25, "Y": ((i + 2) % 4) * 0.25}
+                for i in range(64)]
+        relation = Relation.from_rows(schema, rows, name="ties")
+        executor = Executor.for_relation(relation, block_size=8,
+                                         rtree_max_entries=8)
+        query = TopKQuery(Predicate.of(A=0), sum_function(["X", "Y"]), 5)
+        reference = brute_force_topk(relation, query)  # sorted by (score, tid)
+        for name in ("ranking-cube", "signature-cube", "table-scan"):
+            result = executor.registry.get(name).run(query)
+            assert result.tids == reference[0], name
+            assert result.scores == pytest.approx(reference[1]), name
+
+
+class TestSignatureSharing:
+    def test_skyline_and_signature_backends_share_one_cube(self, executor):
+        signature_backend = executor.registry.get("signature-cube")
+        skyline_backend = executor.registry.get("skyline")
+        assert skyline_backend.engine.cube is signature_backend.cube
+
+    def test_skyline_without_signature_backend_still_prunes(self, relation):
+        stack = Executor.for_relation(relation, block_size=300,
+                                      rtree_max_entries=16,
+                                      with_signature=False, with_skyline=True)
+        assert "signature-cube" not in stack.registry.names()
+        result = stack.execute(SkylineQuery(Predicate.of(A1=1), ("N1", "N2")))
+        assert result.backend == "skyline"
+        assert stack.registry.get("skyline").engine.use_signature
+        baseline = BooleanFirstSkyline(relation)
+        assert result.tids == baseline.query(
+            SkylineQuery(Predicate.of(A1=1), ("N1", "N2"))).tids
+
+
 class TestExplain:
     def test_explain_names_backend_and_details(self, executor):
         query = TopKQuery(Predicate.of(A1=1),

@@ -1,0 +1,367 @@
+"""Tests for the sharded execution subsystem: policies, stats, scatter/gather.
+
+The heart is the parity suite: the sharded engine must return *identical*
+answers (same ids, same scores, same order after tie-break) to the
+unsharded engine for top-k and skyline queries, across policies, shard
+counts, and predicates that prune no, some, and all shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Executor
+from repro.errors import PlanningError
+from repro.functions import LinearFunction
+from repro.functions.linear import sum_function
+from repro.query import Predicate, SkylineQuery, TopKQuery, topk_order_key
+from repro.shard import (
+    HashShardingPolicy,
+    RangeShardingPolicy,
+    ScatterGatherExecutor,
+    ShardManager,
+)
+from repro.shard.stats import ShardStatistics
+from repro.storage.table import Relation, Schema
+from repro.workloads import (
+    QuerySpec,
+    SyntheticSpec,
+    generate_queries,
+    generate_relation,
+    make_sharded_engine,
+    pruned_predicate_queries,
+)
+
+SHARD_COUNTS = (1, 2, 7)
+POLICY_KINDS = ("hash", "range-width", "range-depth")
+
+
+def make_policy(kind: str, relation: Relation, num_shards: int):
+    if kind == "hash":
+        return HashShardingPolicy(num_shards)
+    mode = "width" if kind == "range-width" else "depth"
+    return RangeShardingPolicy(relation, "A1", num_shards, mode=mode)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_relation(SyntheticSpec(num_tuples=1500, num_selection_dims=3,
+                                           num_ranking_dims=2, cardinality=6,
+                                           seed=77))
+
+
+@pytest.fixture(scope="module")
+def unsharded(relation):
+    return Executor.for_relation(relation, block_size=100, rtree_max_entries=16)
+
+
+def build_engine(relation, kind: str, num_shards: int,
+                 parallel: bool = False) -> ScatterGatherExecutor:
+    policy = make_policy(kind, relation, num_shards)
+    manager = ShardManager(relation, policy, block_size=60, rtree_max_entries=16)
+    return ScatterGatherExecutor(manager, parallel=parallel)
+
+
+class TestParity:
+    """Sharded answers are bit-identical to the unsharded engine."""
+
+    @pytest.mark.parametrize("kind", POLICY_KINDS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_topk_parity(self, relation, unsharded, kind, num_shards):
+        engine = build_engine(relation, kind, num_shards)
+        queries = generate_queries(
+            relation, QuerySpec(k=10, num_selection_conditions=1,
+                                num_ranking_dims=2, skewness=2.0, seed=3),
+            count=3)
+        # Predicates pruning zero shards (empty), some shards (A1 pinned),
+        # and all shards (value absent from the data).
+        queries.append(TopKQuery(Predicate.of(),
+                                 sum_function(["N1", "N2"]), 12))
+        queries.append(TopKQuery(Predicate.of(A1=2, A3=1),
+                                 LinearFunction(["N1", "N2"], [2.0, 1.0]), 7))
+        queries.append(TopKQuery(Predicate.of(A1=999),
+                                 sum_function(["N1", "N2"]), 5))
+        for query in queries:
+            expected = unsharded.execute(query)
+            gathered = engine.execute(query)
+            assert gathered.tids == expected.tids
+            assert gathered.scores == expected.scores
+            assert gathered.extra["backend"] == "scatter-gather"
+
+    @pytest.mark.parametrize("kind", POLICY_KINDS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_skyline_parity(self, relation, unsharded, kind, num_shards):
+        engine = build_engine(relation, kind, num_shards)
+        queries = [
+            SkylineQuery(Predicate.of(), ("N1", "N2")),
+            SkylineQuery(Predicate.of(A1=3), ("N1", "N2")),
+            SkylineQuery(Predicate.of(A1=1, A2=2), ("N1", "N2")),
+            SkylineQuery(Predicate.of(A1=999), ("N1", "N2")),
+            SkylineQuery(Predicate.of(A2=4), ("N1", "N2"), targets=(0.4, 0.6)),
+        ]
+        for query in queries:
+            expected = unsharded.execute(query)
+            gathered = engine.execute(query)
+            assert gathered.tids == expected.tids
+
+    def test_parallel_matches_sequential(self, relation, unsharded):
+        engine = build_engine(relation, "hash", 4, parallel=True)
+        query = TopKQuery(Predicate.of(A2=1), sum_function(["N1", "N2"]), 10)
+        expected = unsharded.execute(query)
+        gathered = engine.execute(query)
+        assert gathered.tids == expected.tids
+        assert gathered.scores == expected.scores
+
+    def test_tie_break_is_stable_across_sharding(self):
+        # Quantized ranking values force score ties spanning shards; the
+        # canonical (score, tid) order must decide the k-th place the same
+        # way sharded and unsharded.
+        schema = Schema(("A",), ("X", "Y"))
+        rows = [{"A": i % 2, "X": (i % 3) * 0.25, "Y": ((i + 1) % 3) * 0.25}
+                for i in range(60)]
+        relation = Relation.from_rows(schema, rows, name="ties")
+        unsharded = Executor.for_relation(relation, block_size=8,
+                                          rtree_max_entries=8)
+        query = TopKQuery(Predicate.of(A=0), sum_function(["X", "Y"]), 7)
+        expected = unsharded.execute(query)
+        for num_shards in (2, 3):
+            engine = build_engine(relation, "hash", num_shards)
+            gathered = engine.execute(query)
+            assert gathered.tids == expected.tids
+            assert gathered.scores == expected.scores
+        keys = [topk_order_key(tid, score) for tid, score in expected.as_pairs()]
+        assert keys == sorted(keys)
+
+
+class TestPruning:
+    """Shard pruning is observable and exact."""
+
+    def test_point_predicate_consults_exactly_one_range_shard(self, relation):
+        # Cardinality 6 over 6 width-shards: each A1 value owns one shard.
+        engine = build_engine(relation, "range-width", 6)
+        for value in range(6):
+            query = TopKQuery(Predicate.of(A1=value), sum_function(["N1", "N2"]), 5)
+            result = engine.execute(query)
+            consulted = result.extra["shards_consulted"].split(",")
+            assert len(consulted) == 1, (value, result.extra)
+            shard = engine.manager.shards[int(consulted[0])]
+            assert value in shard.stats.selection_values["A1"]
+
+    def test_plan_reports_scatter_set_and_backends(self, relation):
+        engine = build_engine(relation, "range-width", 3)
+        query = TopKQuery(Predicate.of(A1=0), sum_function(["N1", "N2"]), 5)
+        plan = engine.plan(query)
+        assert plan.backend == "scatter-gather"
+        assert plan.details["shards_total"] == 3
+        assert plan.details["shards_consulted"] == "0"
+        assert "outside shard values" in plan.details["shards_pruned"]
+        assert plan.details["shard_backends"] == "0:ranking-cube"
+        assert "scatter" in engine.explain(query)
+
+    def test_all_shards_pruned_yields_empty_result(self, relation):
+        engine = build_engine(relation, "range-width", 3)
+        result = engine.execute(TopKQuery(Predicate.of(A1=999),
+                                          sum_function(["N1", "N2"]), 5))
+        assert result.tids == ()
+        assert result.extra["shards_consulted"] == "-"
+        skyline = engine.execute(SkylineQuery(Predicate.of(A1=999), ("N1", "N2")))
+        assert skyline.tids == ()
+
+    def test_empty_predicate_consults_every_nonempty_shard(self, relation):
+        engine = build_engine(relation, "hash", 4)
+        result = engine.execute(TopKQuery(Predicate.of(),
+                                          sum_function(["N1", "N2"]), 5))
+        assert result.extra["shards_consulted"] == "0,1,2,3"
+
+    def test_every_result_reports_scatter_extras(self, relation):
+        engine = build_engine(relation, "hash", 2)
+        for query in (TopKQuery(Predicate.of(A1=1), sum_function(["N1", "N2"]), 4),
+                      SkylineQuery(Predicate.of(A1=1), ("N1", "N2"))):
+            result = engine.execute(query)
+            for key in ("shards_consulted", "shards_pruned", "shard_backends",
+                        "plan", "backend", "policy"):
+                assert key in result.extra, key
+
+    def test_join_queries_are_rejected(self, relation):
+        engine = build_engine(relation, "hash", 2)
+        with pytest.raises(PlanningError):
+            engine.execute(object())
+
+
+class TestStatsAndPolicies:
+    def test_statistics_summarize_shard(self, relation):
+        stats = ShardStatistics.of(0, relation)
+        assert stats.num_tuples == relation.num_tuples
+        assert stats.selection_cardinalities["A1"] == 6
+        low, high = stats.ranking_ranges["N1"]
+        assert 0.0 <= low <= high <= 1.0
+        ok, reason = stats.can_match(Predicate.of(A1=0))
+        assert ok and reason is None
+        ok, reason = stats.can_match(Predicate.of(A1=17))
+        assert not ok and "A1=17" in reason
+
+    def test_hash_policy_covers_all_rows(self, relation):
+        policy = HashShardingPolicy(4)
+        assignment = policy.assign(relation)
+        assert assignment.shape == (relation.num_tuples,)
+        assert set(np.unique(assignment)) <= set(range(4))
+        # Roughly uniform: no shard is empty at this size.
+        assert all((assignment == i).sum() > 0 for i in range(4))
+
+    def test_range_policy_partitions_by_value(self, relation):
+        policy = RangeShardingPolicy(relation, "A1", 3, mode="width")
+        assignment = policy.assign(relation)
+        column = relation.selection_column("A1")
+        for index in range(3):
+            low, high = policy.shard_range(index)
+            values = column[assignment == index]
+            if values.size:
+                assert values.min() >= low - 1e-9
+                assert values.max() <= high + 1e-9
+
+    def test_single_shard_holds_everything(self, relation):
+        manager = ShardManager(relation, HashShardingPolicy(1),
+                               block_size=60, rtree_max_entries=16)
+        assert manager.num_shards == 1
+        assert manager.shards[0].relation.num_tuples == relation.num_tuples
+        assert np.array_equal(manager.shards[0].tid_map,
+                              np.arange(relation.num_tuples))
+
+    def test_invalid_policies_rejected(self, relation):
+        with pytest.raises(PlanningError):
+            HashShardingPolicy(0)
+        with pytest.raises(PlanningError):
+            RangeShardingPolicy(relation, "A1", 2, mode="zigzag")
+        with pytest.raises(PlanningError):
+            RangeShardingPolicy(relation, "nope", 2)
+
+    def test_out_of_range_assignment_rejected(self, relation):
+        class LossyPolicy(HashShardingPolicy):
+            def assign(self, rel):
+                assignment = super().assign(rel)
+                assignment[0] = self.num_shards  # would silently drop row 0
+                return assignment
+
+        with pytest.raises(PlanningError):
+            ShardManager(relation, LossyPolicy(3))
+
+
+class TestMutation:
+    def _fresh(self, num_tuples=400):
+        base = generate_relation(SyntheticSpec(num_tuples=num_tuples,
+                                               num_selection_dims=2,
+                                               num_ranking_dims=2,
+                                               cardinality=4, seed=21))
+        manager = ShardManager(base, RangeShardingPolicy(base, "A1", 4),
+                               block_size=50, rtree_max_entries=16)
+        return base, manager, ScatterGatherExecutor(manager)
+
+    def test_insert_routes_to_owning_shard_and_stays_correct(self):
+        base, manager, engine = self._fresh()
+        query = TopKQuery(Predicate.of(A1=2), sum_function(["N1", "N2"]), 5)
+        engine.execute(query)
+        row = {"A1": 2, "A2": 1, "N1": 0.0, "N2": 0.0}  # new global best
+        global_tid = manager.insert(row)
+        assert global_tid == base.num_tuples - 1
+        owner = manager.policy.shard_for_row(base, row, global_tid)
+        assert global_tid in manager.shards[owner].tid_map
+        result = engine.execute(query)
+        assert result.tids[0] == global_tid  # not a stale cached answer
+        fresh = Executor.for_relation(base, block_size=50, rtree_max_entries=16)
+        expected = fresh.execute(query)
+        assert result.tids == expected.tids
+        assert result.scores == expected.scores
+
+    def test_insert_invalidates_result_caches(self):
+        _, manager, engine = self._fresh()
+        query = TopKQuery(Predicate.of(A1=1), sum_function(["N1", "N2"]), 3)
+        engine.execute(query)
+        engine.execute(query)
+        assert engine.cache_stats()["result_hits"] == 1.0
+        manager.insert({"A1": 1, "A2": 0, "N1": 0.5, "N2": 0.5})
+        assert engine.cache_stats()["result_entries"] == 0.0
+        assert engine.cache_stats()["result_invalidations"] >= 1.0
+
+    def test_direct_base_append_fails_loudly(self):
+        base, manager, engine = self._fresh(num_tuples=200)
+        query = TopKQuery(Predicate.of(A1=1), sum_function(["N1", "N2"]), 3)
+        engine.execute(query)
+        # Bypassing the manager desynchronizes the shards; serving answers
+        # that silently miss the new row would be wrong, so execute raises.
+        base.append({"A1": 1, "A2": 0, "N1": 0.0, "N2": 0.0})
+        with pytest.raises(PlanningError):
+            engine.execute(query)
+        # The desync persists, so every later query keeps failing loudly
+        # rather than silently serving answers missing the new row.
+        with pytest.raises(PlanningError):
+            engine.execute(query)
+        manager.insert({"A1": 1, "A2": 0, "N1": 0.0, "N2": 0.0})
+        with pytest.raises(PlanningError):  # base still has 1 uncovered row
+            engine.execute(query)
+        # reshard() re-splits from the base relation and recovers.
+        manager.reshard(manager.policy)
+        result = engine.execute(query)
+        fresh = Executor.for_relation(base, block_size=50, rtree_max_entries=16)
+        assert result.tids == fresh.execute(query).tids
+
+    def test_incremental_stats_match_recomputation(self):
+        _, manager, _ = self._fresh(num_tuples=300)
+        for value in (0, 3, 3):
+            manager.insert({"A1": value, "A2": 2, "N1": 1.5, "N2": -0.5})
+        for shard in manager.shards:
+            expected = ShardStatistics.of(shard.index, shard.relation)
+            assert shard.stats.num_tuples == expected.num_tuples
+            assert shard.stats.selection_values == expected.selection_values
+            assert (shard.stats.selection_cardinalities
+                    == expected.selection_cardinalities)
+            assert shard.stats.ranking_ranges == expected.ranking_ranges
+
+    def test_discarded_engine_hook_is_dropped(self):
+        import gc
+
+        _, manager, engine = self._fresh(num_tuples=200)
+        assert len(manager._invalidation_hooks) == 1
+        del engine
+        gc.collect()
+        manager.insert({"A1": 0, "A2": 0, "N1": 0.1, "N2": 0.1})
+        assert manager._invalidation_hooks == []
+
+    def test_reshard_replaces_policy_and_keeps_answers(self):
+        base, manager, engine = self._fresh()
+        query = TopKQuery(Predicate.of(A2=1), sum_function(["N1", "N2"]), 6)
+        before = engine.execute(query)
+        manager.reshard(HashShardingPolicy(3))
+        assert manager.num_shards == 3
+        after = engine.execute(query)
+        assert after.tids == before.tids
+        assert after.scores == before.scores
+        assert after.extra["policy"] == "hash(3)"
+
+
+class TestBatchAndCache:
+    def test_execute_many_and_result_cache(self, relation):
+        _, engine = make_sharded_engine(relation, 3, range_dim="A1",
+                                        block_size=60, rtree_max_entries=16)
+        queries = pruned_predicate_queries(relation, "A1", k=5)
+        results = engine.execute_many(queries)
+        assert len(results) == len(queries)
+        assert all(r.extra["result_cache"] == "miss" for r in results)
+        again = engine.execute_many(queries)
+        assert all(r.extra["result_cache"] == "hit" for r in again)
+        for first, second in zip(results, again):
+            assert first.tids == second.tids
+            assert first.scores == second.scores
+        stats = engine.cache_stats()
+        assert stats["result_hits"] == float(len(queries))
+
+    def test_equivalent_function_objects_share_cache_entries(self, relation):
+        _, engine = make_sharded_engine(relation, 2, range_dim="A1",
+                                        block_size=60, rtree_max_entries=16)
+        first = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 2.0]), 5)
+        twin = TopKQuery(Predicate.of(A1=1),
+                         LinearFunction(["N1", "N2"], [1.0, 2.0]), 5)
+        engine.execute(first)
+        result = engine.execute(twin)
+        assert result.extra["result_cache"] == "hit"
