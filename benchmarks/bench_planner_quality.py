@@ -1,0 +1,97 @@
+"""Cost-based vs static backend routing on a skewed top-k workload.
+
+Drives :func:`repro.workloads.skewed_planner_workload` — a deliberate mix
+of broad, selective, and provably-absent predicates under skewed linear
+functions — through the same engine stack twice: once with the
+statistics-driven cost-based planner (the default) and once with the
+legacy static (priority, name) order.  Both routings must return
+bit-identical answers; the gate is efficiency:
+
+* on **every** query, the cost-chosen backend evaluates at most as many
+  tuples as the statically-chosen one, and
+* across the workload, the cost-based routing evaluates **strictly
+  fewer** tuples in aggregate.
+
+Run directly (``--quick`` for the CI smoke configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_planner_quality.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine import Executor, MODE_STATIC, Planner  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    SyntheticSpec,
+    generate_relation,
+    skewed_planner_workload,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    num_tuples = 8000 if args.quick else 24000
+    relation = generate_relation(SyntheticSpec(
+        num_tuples=num_tuples, num_selection_dims=3, num_ranking_dims=2,
+        cardinality=12, seed=17))
+    executor = Executor.for_relation(relation, block_size=250,
+                                     with_skyline=False)
+    cost_planner = executor.planner
+    static_planner = Planner(executor.registry, mode=MODE_STATIC)
+    queries = skewed_planner_workload(relation, seed=29,
+                                      count=24 if args.quick else 36)
+
+    header = (f"{'#':>3} {'k':>3} {'predicate':<16} {'cost choice':<16}"
+              f"{'static choice':<16}{'cost tuples':>12}{'static tuples':>14}")
+    print(f"# planner quality ({'quick' if args.quick else 'full'} mode)")
+    print(f"tuples={num_tuples} queries={len(queries)}")
+    print(header)
+
+    failures: List[str] = []
+    cost_total = static_total = 0
+    for i, query in enumerate(queries):
+        cost_plan = cost_planner.plan(query)
+        static_plan = static_planner.plan(query)
+        cost_result = executor.registry.get(cost_plan.backend).run(query)
+        static_result = executor.registry.get(static_plan.backend).run(query)
+        if (cost_result.tids != static_result.tids
+                or cost_result.scores != static_result.scores):
+            failures.append(f"query {i}: routings disagree on the answer "
+                            f"({cost_plan.backend} vs {static_plan.backend})")
+        cost_total += cost_result.tuples_evaluated
+        static_total += static_result.tuples_evaluated
+        predicate = ",".join(f"{d}={v}" for d, v in
+                             query.predicate.conditions) or "(none)"
+        print(f"{i:>3} {query.k:>3} {predicate:<16} "
+              f"{cost_plan.backend:<16}{static_plan.backend:<16}"
+              f"{cost_result.tuples_evaluated:>12}"
+              f"{static_result.tuples_evaluated:>14}")
+        if cost_result.tuples_evaluated > static_result.tuples_evaluated:
+            failures.append(
+                f"query {i}: cost routing evaluated "
+                f"{cost_result.tuples_evaluated} tuples via "
+                f"{cost_plan.backend}, static {static_result.tuples_evaluated} "
+                f"via {static_plan.backend}")
+    print(f"aggregate tuples evaluated: cost-based {cost_total}, "
+          f"static {static_total}")
+    if cost_total >= static_total:
+        failures.append(
+            f"cost routing evaluated {cost_total} tuples in aggregate, "
+            f"static {static_total}: no strict improvement")
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,10 +6,12 @@ Commands
     Print every experiment id with its description.
 ``run-experiments [--only id,id,...] [--output report.md]``
     Run experiments and print (or write) a markdown report.
-``demo [--shards N]``
+``demo [--shards N] [--planner cost|static]``
     Build a small ranking cube and run one query end to end — a smoke test
     that the installation works.  ``--shards N`` routes the same queries
-    through the scatter/gather engine over N range shards instead.
+    through the scatter/gather engine over N range shards instead;
+    ``--planner static`` swaps the statistics-driven cost-based backend
+    selection for the legacy (priority, name) order.
 """
 
 from __future__ import annotations
@@ -62,14 +64,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     relation = generate_relation(SyntheticSpec(num_tuples=5000, num_selection_dims=3,
                                                num_ranking_dims=2, cardinality=10))
     num_shards = getattr(args, "shards", 0) or 0
+    planner_mode = getattr(args, "planner", "cost")
     if num_shards > 1:
         from repro.workloads import make_sharded_engine
 
         _, executor = make_sharded_engine(relation, num_shards, range_dim="A1",
-                                          block_size=200)
+                                          block_size=200,
+                                          planner_mode=planner_mode)
         print(f"engine: scatter/gather over {num_shards} range shards on A1")
     else:
-        executor = Executor.for_relation(relation, block_size=200)
+        executor = Executor.for_relation(relation, block_size=200,
+                                         planner_mode=planner_mode)
     query = TopKQuery(Predicate.of(A1=1, A2=2),
                       LinearFunction(["N1", "N2"], [1.0, 1.0]), 5)
     result = executor.execute(query)
@@ -78,6 +83,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"  tid={tid} score={score:.4f}")
     print(f"backend: {result.backend}")
     print(f"plan: {result.plan}")
+    if num_shards <= 1:
+        plan = executor.plan(query)
+        costs = plan.details.get("cost_estimates")
+        if costs:
+            print(f"planner: {plan.mode} mode, candidate costs {costs}")
+        else:
+            print(f"planner: {plan.mode} mode")
     if num_shards > 1:
         print(f"shards consulted: {result.extra['shards_consulted']} "
               f"(pruned: {result.extra['shards_pruned']})")
@@ -109,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--shards", type=int, default=0,
                       help="route the demo through a scatter/gather engine "
                            "over N range shards (default: unsharded)")
+    demo.add_argument("--planner", choices=("cost", "static"), default="cost",
+                      help="backend selection mode: statistics-driven cost "
+                           "estimates (default) or the static (priority, "
+                           "name) order")
     demo.set_defaults(handler=_cmd_demo)
     return parser
 

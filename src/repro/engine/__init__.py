@@ -11,7 +11,11 @@ of them:
   :mod:`repro.engine.backends`);
 * :class:`Planner` — inspects a query (predicate dimensions, ranking
   function shape, ``k``, available covering cuboids) and produces an
-  explainable :class:`QueryPlan`;
+  explainable :class:`QueryPlan`; by default candidates are ranked by the
+  statistics-driven :class:`CostModel` over cached
+  :class:`RelationStatistics` profiles (``planner_mode="static"`` restores
+  the pure (priority, name) order), and every plan records the candidates'
+  estimated costs and the estimates' inputs;
 * :class:`Executor` — ``execute(query)`` / ``execute_many(queries)`` plus a
   :class:`LowerBoundCache` of per-(function, block) bounds shared across
   every query of a workload.
@@ -66,13 +70,28 @@ from repro.engine.backends import (
     TableScanBackend,
 )
 from repro.engine.cache import LowerBoundCache, ResultCache, query_cache_key
+from repro.engine.cost import (
+    CostEstimate,
+    CostModel,
+    RelationStatistics,
+    StatisticsCatalog,
+)
 from repro.engine.executor import Executor
-from repro.engine.plan import KIND_JOIN, KIND_SKYLINE, KIND_TOPK, QueryPlan
+from repro.engine.plan import (
+    KIND_JOIN,
+    KIND_SKYLINE,
+    KIND_TOPK,
+    MODE_COST,
+    MODE_STATIC,
+    QueryPlan,
+)
 from repro.engine.planner import Planner
 from repro.engine.registry import Backend, EngineRegistry, kind_of
 
 __all__ = [
     "Backend",
+    "CostEstimate",
+    "CostModel",
     "EngineRegistry",
     "Executor",
     "IndexMergeBackend",
@@ -80,13 +99,17 @@ __all__ = [
     "KIND_SKYLINE",
     "KIND_TOPK",
     "LowerBoundCache",
+    "MODE_COST",
+    "MODE_STATIC",
     "Planner",
     "QueryPlan",
     "RankingCubeBackend",
+    "RelationStatistics",
     "ResultCache",
     "SignatureCubeBackend",
     "SkylineBackend",
     "SkylineScanBackend",
+    "StatisticsCatalog",
     "TableScanBackend",
     "kind_of",
     "query_cache_key",

@@ -37,6 +37,10 @@ class RankingCubeBackend(Backend):
         self.name = name
         self.priority = priority
 
+    @property
+    def relation(self):
+        return self.cube.relation
+
     def supports(self, query) -> bool:
         if not isinstance(query, TopKQuery):
             return False
@@ -57,6 +61,16 @@ class RankingCubeBackend(Backend):
         chosen = self.cube.covering_cuboids(query.predicate.dims)
         return {"covering_cuboids": ",".join("+".join(dims) for dims in chosen)}
 
+    def cost_profile(self, query) -> Optional[Dict[str, object]]:
+        covering = 1
+        if not query.predicate.is_empty():
+            try:
+                covering = len(self.cube.covering_cuboids(query.predicate.dims))
+            except Exception:
+                return None
+        return {"access": "grid", "granularity": self.cube.block_size,
+                "covering": covering}
+
     def attach_bound_cache(self, bound_cache) -> None:
         self.cube.attach_bound_cache(bound_cache)
 
@@ -76,6 +90,13 @@ class SignatureCubeBackend(Backend):
         self.cube = executor.cube
         self.name = name
         self.priority = priority
+
+    @property
+    def relation(self):
+        return self.cube.relation
+
+    def cost_profile(self, query) -> Optional[Dict[str, object]]:
+        return {"access": "rtree", "granularity": self.cube.rtree.max_entries}
 
     def _covers_predicate(self, predicate: Predicate) -> bool:
         if predicate.is_empty():
@@ -112,6 +133,13 @@ class TableScanBackend(Backend):
         self.name = name
         self.priority = priority
 
+    @property
+    def relation(self):
+        return self.scanner.relation
+
+    def cost_profile(self, query) -> Optional[Dict[str, object]]:
+        return {"access": "scan"}
+
     def supports(self, query) -> bool:
         return (isinstance(query, TopKQuery)
                 and _predicate_valid(query.predicate, self.scanner.relation)
@@ -131,6 +159,14 @@ class SkylineBackend(Backend):
         self.engine = engine
         self.name = name
         self.priority = priority
+
+    @property
+    def relation(self):
+        return self.engine.relation
+
+    def cost_profile(self, query) -> Optional[Dict[str, object]]:
+        return {"access": "rtree-skyline",
+                "granularity": self.engine.rtree.max_entries}
 
     def supports(self, query) -> bool:
         if not isinstance(query, SkylineQuery):
@@ -159,6 +195,13 @@ class SkylineScanBackend(Backend):
         self.engine = engine
         self.name = name
         self.priority = priority
+
+    @property
+    def relation(self):
+        return self.engine.relation
+
+    def cost_profile(self, query) -> Optional[Dict[str, object]]:
+        return {"access": "scan-skyline"}
 
     def supports(self, query) -> bool:
         if not isinstance(query, SkylineQuery):

@@ -27,22 +27,42 @@ from repro.engine.cache import (
     new_cache_scope,
     query_cache_key,
 )
-from repro.engine.plan import QueryPlan
+from repro.engine.cost import CostModel, RelationStatistics, StatisticsCatalog
+from repro.engine.plan import MODE_COST, QueryPlan
+
+#: Sentinel distinguishing "no key passed" from "query is uncacheable".
+_KEY_UNSET = object()
 from repro.engine.planner import Planner
 from repro.engine.registry import Backend, EngineRegistry
 
 
 class Executor:
-    """Front door over the registry/planner with shared bound/result caches."""
+    """Front door over the registry/planner with shared bound/result caches.
+
+    ``planner_mode`` selects cost-based (default) or static backend
+    selection for the default planner; it is ignored when an explicit
+    ``planner`` is injected.  The executor owns a
+    :class:`~repro.engine.cost.StatisticsCatalog` of per-relation profiles
+    that the cost-based planner reads; the catalog invalidates together
+    with the result cache, so a mutation can never leave stale statistics
+    behind a fresh answer.
+    """
 
     def __init__(self, registry: Optional[EngineRegistry] = None,
                  planner: Optional[Planner] = None,
                  bound_cache: Optional[LowerBoundCache] = None,
-                 result_cache: Optional[ResultCache] = None) -> None:
+                 result_cache: Optional[ResultCache] = None,
+                 cost_model: Optional[CostModel] = None,
+                 planner_mode: str = MODE_COST) -> None:
         self.registry = registry or EngineRegistry()
-        self.planner = planner or Planner(self.registry)
+        self.statistics = StatisticsCatalog()
+        self.planner = planner or Planner(self.registry,
+                                          cost_model=cost_model,
+                                          statistics=self.statistics.of,
+                                          mode=planner_mode)
         self.bound_cache = bound_cache or LowerBoundCache()
         self.result_cache = result_cache or ResultCache()
+        self.plans_reused = 0
         self._cache_scope = new_cache_scope()
         self._watched_relations: List[Relation] = []
         self._watched_versions: Dict[int, int] = {}
@@ -67,7 +87,7 @@ class Executor:
         """One-line explanation of how ``query`` would be routed."""
         return self.planner.explain(query)
 
-    def execute(self, query):
+    def execute(self, query, *, _plan_factory=None, _key=_KEY_UNSET):
         """Plan ``query``, run it on the chosen backend, annotate the result.
 
         Results of cacheable queries (top-k and skyline) are memoized in
@@ -76,16 +96,26 @@ class Executor:
         same ``k`` — returns the cached answer without planning or
         execution (``extra["result_cache"]`` says which happened).  Cached
         results keep the statistics of the run that produced them.
+
+        ``_plan_factory`` is how ``execute_many`` hoists plans across
+        repeated batch entries: it is only invoked on an actual
+        result-cache miss, so a fully cached batch never plans at all.
+        ``_key`` forwards an already-computed :func:`query_cache_key` to
+        avoid canonicalizing the query twice on the batch path.
         """
-        key = query_cache_key(query)
+        key = query_cache_key(query) if _key is _KEY_UNSET else _key
         if key is not None:
             key = (self._cache_scope,) + key
             if self._watched_mutated():
                 self.result_cache.invalidate()
+                self.statistics.invalidate()
             hit = self.result_cache.lookup(key)
             if hit is not None:
                 return hit
-        plan = self.planner.plan(query)
+        if _plan_factory is not None:
+            plan = _plan_factory()
+        else:
+            plan = self.planner.plan(query)
         backend = self.registry.get(plan.backend)
         result = backend.run(query)
         result.extra["backend"] = plan.backend
@@ -95,13 +125,50 @@ class Executor:
         return result
 
     def execute_many(self, queries: Iterable) -> List:
-        """Execute a batch of queries, sharing plans' lower-bound work.
+        """Execute a batch of queries, sharing planning and lower-bound work.
 
         Results come back in submission order.  The shared
         :class:`LowerBoundCache` turns repeated (function, block) bound
-        computations across the batch into dictionary hits.
+        computations across the batch into dictionary hits, and queries
+        sharing one canonical :func:`query_cache_key` are planned at most
+        once per batch — the plan is hoisted lazily on the first
+        result-cache miss and reused for every later repeat that misses,
+        so a fully cached batch plans nothing and an uncached batch plans
+        each distinct logical query exactly once.
         """
-        return [self.execute(query) for query in queries]
+        queries = list(queries)
+        keys = [query_cache_key(query) for query in queries]
+        repeats: Dict[tuple, int] = {}
+        for key in keys:
+            if key is not None:
+                repeats[key] = repeats.get(key, 0) + 1
+        plans: Dict[tuple, QueryPlan] = {}
+
+        def factory_for(key, query):
+            def make() -> QueryPlan:
+                plan = plans.get(key)
+                if plan is None:
+                    plans[key] = plan = self.planner.plan(query)
+                else:
+                    self.plans_reused += 1
+                return plan
+            return make
+
+        results = []
+        for query, key in zip(queries, keys):
+            factory = (factory_for(key, query)
+                       if key is not None and repeats[key] > 1 else None)
+            results.append(self.execute(query, _plan_factory=factory,
+                                        _key=key))
+        return results
+
+    def statistics_for(self, relation: Relation) -> RelationStatistics:
+        """The cached :class:`RelationStatistics` profile of ``relation``.
+
+        Profiles are recomputed when the relation's version changed, so a
+        direct ``Relation.append`` is reflected on the next lookup.
+        """
+        return self.statistics.of(relation)
 
     def cache_stats(self) -> Dict[str, float]:
         """Hit/miss statistics of the lower-bound and result caches."""
@@ -110,17 +177,20 @@ class Executor:
             "hits": float(self.bound_cache.hits),
             "misses": float(self.bound_cache.misses),
             "hit_rate": self.bound_cache.hit_rate,
+            "plans_reused": float(self.plans_reused),
         }
         stats.update(self.result_cache.stats())
         return stats
 
     def invalidate_results(self) -> None:
-        """Drop cached query results; call after the underlying data changed.
+        """Drop cached results and statistics; call after the data changed.
 
-        The shard manager invokes this on every ``insert``/``reshard`` so a
-        stale answer can never be served after a mutation.
+        The shard manager invokes this on every ``insert``/``reshard`` so
+        neither a stale answer nor a stale relation profile can be served
+        after a mutation.
         """
         self.result_cache.invalidate()
+        self.statistics.invalidate()
 
     def watch_relation(self, relation: Relation) -> None:
         """Auto-invalidate cached results whenever ``relation`` mutates.
@@ -158,7 +228,8 @@ class Executor:
                      include_fragments: bool = False,
                      fragment_size: int = 2,
                      with_signature: bool = True,
-                     with_skyline: bool = True) -> "Executor":
+                     with_skyline: bool = True,
+                     planner_mode: str = MODE_COST) -> "Executor":
         """Build the default single-relation engine stack.
 
         Registers the grid ranking cube (preferred for top-k) and the
@@ -180,7 +251,7 @@ class Executor:
         from repro.baselines import TableScanTopK
         from repro.cube import RankingCube, build_ranking_fragments
 
-        executor = cls()
+        executor = cls(planner_mode=planner_mode)
         cube = RankingCube(relation, block_size=block_size)
         executor.register(RankingCubeBackend(cube))
         if include_fragments:
@@ -214,7 +285,8 @@ class Executor:
 
     @classmethod
     def for_system(cls, relations: Sequence[Relation], *,
-                   rtree_max_entries: int = 32) -> "Executor":
+                   rtree_max_entries: int = 32,
+                   planner_mode: str = MODE_COST) -> "Executor":
         """Engine stack over several relations, including ranked joins.
 
         Single-relation backends are built for the first relation; the join
@@ -223,7 +295,8 @@ class Executor:
         from repro.joins import RankingCubeJoinSystem
 
         executor = cls.for_relation(relations[0],
-                                    rtree_max_entries=rtree_max_entries)
+                                    rtree_max_entries=rtree_max_entries,
+                                    planner_mode=planner_mode)
         system = RankingCubeJoinSystem(relations,
                                        rtree_max_entries=rtree_max_entries)
         executor.register_join_system(system)

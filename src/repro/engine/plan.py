@@ -17,6 +17,10 @@ KIND_TOPK = "topk"
 KIND_SKYLINE = "skyline"
 KIND_JOIN = "join"
 
+#: Backend-selection modes the planner records on its plans.
+MODE_COST = "cost"
+MODE_STATIC = "static"
+
 
 @dataclass
 class QueryPlan:
@@ -27,10 +31,15 @@ class QueryPlan:
     reason: str
     details: Dict[str, object] = field(default_factory=dict)
     candidates: Tuple[str, ...] = ()
+    #: How the winner was selected: :data:`MODE_COST` when estimated costs
+    #: decided (details carry ``cost_estimates`` / ``cost_inputs``),
+    #: :data:`MODE_STATIC` when the (priority, name) order did.
+    mode: str = MODE_STATIC
 
     def describe(self) -> str:
         """Single-line human-readable plan, e.g. for ``extra['plan']``."""
-        parts = [f"backend={self.backend}", f"kind={self.query_kind}"]
+        parts = [f"backend={self.backend}", f"kind={self.query_kind}",
+                 f"mode={self.mode}"]
         for key in sorted(self.details):
             parts.append(f"{key}={self.details[key]}")
         if self.candidates:
@@ -45,6 +54,7 @@ class QueryPlan:
             "reason": self.reason,
             "details": dict(self.details),
             "candidates": list(self.candidates),
+            "mode": self.mode,
         }
 
     def __str__(self) -> str:

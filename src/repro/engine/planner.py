@@ -1,29 +1,74 @@
 """The query planner: inspect a query, pick a backend, explain the choice.
 
-The planner is deliberately simple and fully explainable: it classifies the
-query (top-k / skyline / multi-relation join), asks the registry for the
-backends serving that kind, filters to the ones that actually support the
-concrete query (predicate dimensions covered, ranking dimensions indexed),
-and picks the highest-preference survivor.  Every decision is recorded on
-the returned :class:`repro.engine.plan.QueryPlan`.
+The planner classifies the query (top-k / skyline / multi-relation join),
+asks the registry for the backends serving that kind, and filters to the
+ones that actually support the concrete query (predicate dimensions
+covered, ranking dimensions indexed).  Among the survivors it selects in
+one of two modes:
+
+* **cost** (the default) — every candidate is priced by the
+  :class:`~repro.engine.cost.CostModel` over the relation's cached
+  :class:`~repro.engine.cost.RelationStatistics`; the cheapest estimate
+  wins, with the static ``(priority, name)`` order breaking exact ties.
+  Each candidate's estimated cost and the estimate's inputs (selectivity,
+  expected matches, k, function shape, covering cuboids, ...) are recorded
+  in ``QueryPlan.details`` so ``explain`` shows *why* a backend won.
+* **static** — the original lowest ``(priority, name)`` rule, used as the
+  explicit fallback whenever any candidate cannot be costed (custom
+  adapters, multi-relation joins, no statistics available) and available
+  as a mode of its own for comparisons.
+
+Both modes see the same candidate *set*; only the winner may differ.
+Every decision is recorded on the returned
+:class:`repro.engine.plan.QueryPlan`.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.errors import PlanningError
-from repro.query import SkylineQuery, TopKQuery
 
-from repro.engine.plan import KIND_JOIN, KIND_SKYLINE, KIND_TOPK, QueryPlan
+from repro.engine.cost import CostEstimate, CostModel, StatisticsCatalog
+from repro.engine.plan import (
+    KIND_SKYLINE,
+    KIND_TOPK,
+    MODE_COST,
+    MODE_STATIC,
+    QueryPlan,
+)
 from repro.engine.registry import Backend, EngineRegistry, kind_of
 
 
 class Planner:
-    """Routes queries to registered backends, producing explainable plans."""
+    """Routes queries to registered backends, producing explainable plans.
 
-    def __init__(self, registry: EngineRegistry) -> None:
+    Parameters
+    ----------
+    registry:
+        The named backends to route over.
+    cost_model:
+        Estimates per-candidate cost in cost mode (default:
+        :class:`~repro.engine.cost.CostModel`).
+    statistics:
+        ``relation -> RelationStatistics`` provider.  The executor injects
+        its own :class:`~repro.engine.cost.StatisticsCatalog` so profiles
+        invalidate together with its result cache; a standalone planner
+        builds a private catalog.
+    mode:
+        ``MODE_COST`` (default) or ``MODE_STATIC``.
+    """
+
+    def __init__(self, registry: EngineRegistry,
+                 cost_model: Optional[CostModel] = None,
+                 statistics: Optional[Callable] = None,
+                 mode: str = MODE_COST) -> None:
+        if mode not in (MODE_COST, MODE_STATIC):
+            raise PlanningError(f"unknown planner mode {mode!r}")
         self.registry = registry
+        self.cost_model = cost_model or CostModel()
+        self.statistics = statistics or StatisticsCatalog().of
+        self.mode = mode
 
     def plan(self, query) -> QueryPlan:
         """Choose a backend for ``query`` and explain the choice."""
@@ -31,9 +76,10 @@ class Planner:
         serving = self.registry.backends_for(kind)
         if not serving:
             raise PlanningError(f"no backend registered for {kind!r} queries")
-        # Deterministic selection: (priority, name) is a total order over
-        # backends, so the winner never depends on registration order even
-        # when two candidates share a priority.
+        # Deterministic candidate order: (priority, name) is a total order
+        # over backends, so the list never depends on registration order
+        # even when two candidates share a priority.  Cost mode re-ranks
+        # but keeps this order as its tie-break.
         candidates = sorted((b for b in serving if b.supports(query)),
                             key=lambda b: (b.priority, b.name))
         if not candidates:
@@ -43,11 +89,11 @@ class Planner:
                 f"check that every predicate dimension is a selection dimension "
                 f"and every ranking/preference dimension is a ranking dimension "
                 f"of the target relation")
-        chosen = candidates[0]
         details = dict(self._query_details(kind, query))
+        chosen, mode = self._select(query, candidates, details)
         if len(candidates) > 1:
             details["losing_candidates"] = ",".join(
-                f"{b.name}:{b.priority}" for b in candidates[1:])
+                f"{b.name}:{b.priority}" for b in candidates if b is not chosen)
         details.update(chosen.plan_details(query))
         return QueryPlan(
             backend=chosen.name,
@@ -55,11 +101,51 @@ class Planner:
             reason=self._reason(kind, query, chosen),
             details=details,
             candidates=tuple(b.name for b in candidates),
+            mode=mode,
         )
 
     def explain(self, query) -> str:
         """One-line explanation of how ``query`` would be routed."""
         return self.plan(query).describe()
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def _select(self, query, candidates: List[Backend], details):
+        """Pick the winner, recording cost evidence (or the fallback reason)."""
+        if self.mode != MODE_COST:
+            return candidates[0], MODE_STATIC
+        estimates = self._estimates(query, candidates)
+        if estimates is None:
+            details["cost_fallback"] = (
+                "unestimable candidate; static (priority, name) order kept")
+            return candidates[0], MODE_STATIC
+        # Cheapest estimate wins; exact cost ties fall back to the static
+        # (priority, name) order, keeping selection fully deterministic.
+        ranked = sorted(range(len(candidates)),
+                        key=lambda i: (estimates[i].cost, i))
+        winner = ranked[0]
+        details["cost_estimates"] = "|".join(
+            f"{estimates[i].backend}:{estimates[i].cost:.1f}"
+            for i in range(len(candidates)))
+        details["estimated_cost"] = round(estimates[winner].cost, 3)
+        details["cost_inputs"] = estimates[winner].describe_inputs()
+        return candidates[winner], MODE_COST
+
+    def _estimates(self, query,
+                   candidates: List[Backend]) -> Optional[List[CostEstimate]]:
+        """Cost every candidate, or ``None`` when any cannot be costed."""
+        estimates: List[CostEstimate] = []
+        for backend in candidates:
+            relation = backend.relation
+            if relation is None:
+                return None
+            estimate = self.cost_model.estimate(backend, query,
+                                                self.statistics(relation))
+            if estimate is None:
+                return None
+            estimates.append(estimate)
+        return estimates
 
     # ------------------------------------------------------------------
     # rationale rendering

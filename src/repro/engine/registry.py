@@ -45,6 +45,10 @@ class Backend(ABC):
     kind: str
     #: Planning preference; lower values are chosen first.
     priority: int = 50
+    #: The single relation this backend answers over, when there is one.
+    #: The cost-based planner profiles it; ``None`` (multi-relation joins,
+    #: custom adapters) makes the planner fall back to the static order.
+    relation = None
 
     @abstractmethod
     def supports(self, query) -> bool:
@@ -57,6 +61,17 @@ class Backend(ABC):
     def plan_details(self, query) -> Dict[str, object]:
         """Backend-specific plan properties (e.g. covering cuboids)."""
         return {}
+
+    def cost_profile(self, query) -> Optional[Dict[str, object]]:
+        """Structural inputs for the :class:`~repro.engine.cost.CostModel`.
+
+        Returns the access kind plus its granularity (``{"access": "grid",
+        "granularity": block_size, ...}``), or ``None`` when the backend
+        cannot be costed — the planner then keeps the static priority
+        order for the whole candidate list, so an unestimable custom
+        backend can never be mis-ranked by a half-informed comparison.
+        """
+        return None
 
     def attach_bound_cache(self, bound_cache) -> None:
         """Adopt a shared lower-bound cache; default: not applicable."""

@@ -105,6 +105,11 @@ class ShardManager:
             else:
                 executor = Executor.for_relation(shard.relation,
                                                  **self._executor_kwargs)
+            # The shard layer already profiled this sub-relation; hand the
+            # profile to the stack's cost planner so it is never re-scanned.
+            catalog = getattr(executor, "statistics", None)
+            if catalog is not None:
+                catalog.seed(shard.relation, shard.stats)
             self._executors[shard.index] = executor
         return executor
 
@@ -125,8 +130,17 @@ class ShardManager:
             self._invalidation_hooks.append(lambda: hook)
 
     def _invalidate(self) -> None:
-        for executor in self._executors.values():
+        for index, executor in self._executors.items():
             executor.invalidate_results()
+            # invalidate_results also drops the executor's statistics
+            # catalog; the surviving executors belong to shards the
+            # mutation did not touch (the owner's stack was popped), so
+            # their ShardStatistics are still exact — re-seed them rather
+            # than letting the next plan re-scan an unchanged shard.
+            catalog = getattr(executor, "statistics", None)
+            if catalog is not None:
+                shard = self.shards[index]
+                catalog.seed(shard.relation, shard.stats)
         alive = []
         for ref in self._invalidation_hooks:
             hook = ref()

@@ -14,9 +14,19 @@
    skylines are re-checked for cross-shard dominance (a point on one
    shard's local skyline may be dominated by another shard's point).
 
+Sequential top-k scatters are additionally *ordered and bounded* by the
+engine's :class:`~repro.engine.cost.CostModel`: legs run most-promising
+first (lowest attainable score over the shard's ranking ranges, fewer
+expected matches on ties), and once k answers are gathered a remaining
+shard whose ranking-range score floor strictly exceeds the current k-th
+score is skipped outright — no tuple it holds could enter the top-k or
+even tie it, so the gathered answer stays bit-identical while the scatter
+touches fewer shards.
+
 The gathered result's ``extra`` records the shards consulted, the shards
-pruned with their reasons, and the backend each consulted shard chose — the
-whole scatter is explainable end-to-end, just like a single-engine plan.
+pruned with their reasons, the legs skipped by the gather bound, the leg
+order, and the backend each consulted shard chose — the whole scatter is
+explainable end-to-end, just like a single-engine plan.
 """
 
 from __future__ import annotations
@@ -27,10 +37,17 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.cache import ResultCache, new_cache_scope, query_cache_key
-from repro.engine.plan import KIND_SKYLINE, KIND_TOPK, QueryPlan
+from repro.engine.cost import CostModel
+from repro.engine.plan import (
+    KIND_SKYLINE,
+    KIND_TOPK,
+    MODE_COST,
+    MODE_STATIC,
+    QueryPlan,
+)
 from repro.engine.registry import kind_of
 from repro.errors import PlanningError
-from repro.query import QueryResult, topk_order_key
+from repro.query import QueryResult, TopKQuery, topk_order_key
 from repro.shard.manager import Shard, ShardManager
 from repro.skyline.dominance import skyline_of, transform_dynamic
 from repro.skyline.engine import SkylineResult
@@ -49,14 +66,20 @@ class ScatterGatherExecutor:
         consumes per-shard answers in shard order.
     max_workers:
         Thread-pool size when ``parallel`` (default: one per shard).
+    cost_model:
+        The :class:`~repro.engine.cost.CostModel` ordering sequential
+        top-k scatter legs and bounding the gather (default: a fresh
+        model with the stock constants).
     """
 
     def __init__(self, manager: ShardManager, parallel: bool = False,
                  max_workers: Optional[int] = None,
-                 result_cache: Optional[ResultCache] = None) -> None:
+                 result_cache: Optional[ResultCache] = None,
+                 cost_model: Optional[CostModel] = None) -> None:
         self.manager = manager
         self.parallel = parallel
         self.max_workers = max_workers
+        self.cost_model = cost_model or CostModel()
         self.result_cache = result_cache or ResultCache()
         self._cache_scope = new_cache_scope()
         self._relation_version = manager.relation.version
@@ -105,20 +128,48 @@ class ScatterGatherExecutor:
                 pruned.append((shard.index, reason or "pruned"))
         return consulted, pruned
 
-    def _scatter_details(self, consulted: List[Shard],
+    def _scatter_details(self, query, consulted: List[Shard],
                          pruned: List[Tuple[int, str]],
-                         shard_backends: Dict[int, str]) -> Dict[str, object]:
-        """One rendering of the scatter set, shared by plans and results."""
+                         shard_backends: Dict[int, str],
+                         skipped: Tuple[Tuple[int, str], ...] = (),
+                         order: Optional[List[Shard]] = None,
+                         ) -> Dict[str, object]:
+        """One rendering of the scatter set, shared by plans and results.
+
+        ``order`` is the planned leg order over every surviving shard;
+        after a bounded scatter it covers skipped legs too, so the default
+        (re-derived from ``consulted``) only serves the un-skipped paths.
+        """
+        if order is None:
+            order = self._leg_order(query, consulted)
         return {
             "policy": self.manager.policy.describe(),
             "shards_total": self.manager.num_shards,
             "shards_consulted": ",".join(str(s.index) for s in consulted) or "-",
             "shards_pruned": "|".join(
                 f"{index}:{reason}" for index, reason in pruned) or "-",
+            "shards_skipped": "|".join(
+                f"{index}:{reason}" for index, reason in skipped) or "-",
+            "scatter_order": ",".join(str(s.index) for s in order) or "-",
             "shard_backends": ",".join(
                 f"{index}:{name}" for index, name in sorted(shard_backends.items()))
                 or "-",
         }
+
+    # ------------------------------------------------------------------
+    # cost-ordered scatter
+    # ------------------------------------------------------------------
+    def _leg_order(self, query, consulted: List[Shard]) -> List[Shard]:
+        """Scatter legs ordered by the cost model: most promising first.
+
+        The primary key is the shard's attainable-score floor for the
+        query's function (so the gathered k-th score tightens as early as
+        possible), then the expected matching tuples, then the shard index
+        — a deterministic total order.
+        """
+        return sorted(consulted,
+                      key=lambda shard: self.cost_model.scatter_key(
+                          query, shard.stats) + (shard.index,))
 
     # ------------------------------------------------------------------
     # planning / explain
@@ -132,18 +183,29 @@ class ScatterGatherExecutor:
         """
         self._check_base_relation()
         consulted, pruned = self._scatter_set(query)
-        shard_backends = {
-            shard.index: self.manager.executor_for(shard).plan(query).backend
+        shard_plans = {
+            shard.index: self.manager.executor_for(shard).plan(query)
             for shard in consulted
         }
+        shard_backends = {index: plan.backend
+                          for index, plan in shard_plans.items()}
+        # The gathered plan is cost-driven when every consulted shard's
+        # planner selected by cost (vacuously when statistics pruned every
+        # shard — the profile alone decided); a single static shard makes
+        # the whole scatter report static, never overstating the evidence.
+        mode = (MODE_COST
+                if all(plan.mode == MODE_COST for plan in shard_plans.values())
+                else MODE_STATIC)
         return QueryPlan(
             backend="scatter-gather",
             query_kind=kind_of(query),
             reason=(f"scatter to {len(consulted)}/{self.manager.num_shards} shards "
                     f"under {self.manager.policy.describe()}, "
                     f"{len(pruned)} pruned by statistics"),
-            details=self._scatter_details(consulted, pruned, shard_backends),
+            details=self._scatter_details(query, consulted, pruned,
+                                          shard_backends),
             candidates=tuple(f"shard{s.index}" for s in consulted),
+            mode=mode,
         )
 
     def explain(self, query) -> str:
@@ -164,8 +226,15 @@ class ScatterGatherExecutor:
                 return hit
         start = time.perf_counter()
         consulted, pruned = self._scatter_set(query)
-        shard_results = self._run_shards(consulted, query)
         kind = kind_of(query)
+        planned_order = self._leg_order(query, consulted)
+        skipped: Tuple[Tuple[int, str], ...] = ()
+        if (kind == KIND_TOPK and not self.parallel
+                and isinstance(query, TopKQuery) and len(consulted) > 1):
+            consulted, shard_results, skipped = self._run_shards_bounded(
+                planned_order, query)
+        else:
+            shard_results = self._run_shards(consulted, query)
         if kind == KIND_TOPK:
             result = self._gather_topk(query, consulted, shard_results)
         else:
@@ -177,11 +246,13 @@ class ScatterGatherExecutor:
         }
         result.extra["backend"] = "scatter-gather"
         result.extra.update(
-            self._scatter_details(consulted, pruned, shard_backends))
+            self._scatter_details(query, consulted, pruned, shard_backends,
+                                  skipped, order=planned_order))
         result.extra["plan"] = (
             f"scatter to {len(consulted)}/{self.manager.num_shards} shards "
             f"[policy={result.extra['policy']} "
             f"pruned={result.extra['shards_pruned']} "
+            f"skipped={result.extra['shards_skipped']} "
             f"backends={result.extra['shard_backends']}]")
         if key is not None:
             self.result_cache.store(key, result)
@@ -207,6 +278,49 @@ class ScatterGatherExecutor:
                 consulted))
         return [self.manager.executor_for(shard).execute(query)
                 for shard in consulted]
+
+    def _run_shards_bounded(self, ordered: List[Shard], query: TopKQuery,
+                            ) -> Tuple[List[Shard], List[QueryResult],
+                                       Tuple[Tuple[int, str], ...]]:
+        """Cost-ordered sequential scatter with bound-based leg skipping.
+
+        ``ordered`` is the :meth:`_leg_order` of the surviving shards;
+        once k candidates are gathered, a
+        remaining shard whose ranking-range score floor *strictly* exceeds
+        the current k-th gathered score is skipped — every tuple it holds
+        scores at least the floor, so none can enter the top-k or tie its
+        boundary (a tie would need a score exactly equal to the k-th, which
+        a strictly larger floor rules out).  The k-th score only tightens
+        as more legs run, so a skip decided against an early bound stays
+        sound for the final answer: gathered results are bit-identical to
+        the exhaustive scatter.
+
+        Returns the executed shards (restored to index order, so gathering
+        and reporting are unchanged), their results, and the skipped legs
+        with reasons.
+        """
+        gathered: List[float] = []  # k smallest scores seen so far, sorted
+        executed: List[Tuple[Shard, QueryResult]] = []
+        skipped: List[Tuple[int, str]] = []
+        for shard in ordered:
+            if len(gathered) >= query.k:
+                floor = shard.stats.score_floor(query.function)
+                kth = gathered[-1]
+                if floor > kth:
+                    skipped.append((
+                        shard.index,
+                        f"score floor {floor:.6g} > k-th score {kth:.6g}"))
+                    continue
+            result = self.manager.executor_for(shard).execute(query)
+            executed.append((shard, result))
+            if result.scores:
+                gathered.extend(float(score) for score in result.scores)
+                gathered.sort()
+                del gathered[query.k:]
+        executed.sort(key=lambda pair: pair[0].index)
+        return ([shard for shard, _ in executed],
+                [result for _, result in executed],
+                tuple(skipped))
 
     # ------------------------------------------------------------------
     # gathering

@@ -1,61 +1,43 @@
-"""Per-shard statistics the shard planner prunes with.
+"""Per-shard statistics the shard planner prunes, orders, and costs with.
 
-:class:`ShardStatistics` summarizes one shard: row count, the distinct
-values of every selection dimension, and the bounding ``[min, max]`` range
-of every ranking dimension.  Because the engine's predicates are equality
-conditions over selection dimensions, a shard whose value set does not
-contain a predicate's required value provably holds no matching tuple —
-the shard can be skipped before any backend is built or run, and the
-decision is recorded on the gathered plan so it stays explainable.
+:class:`ShardStatistics` is the shard-flavoured
+:class:`~repro.engine.cost.RelationStatistics`: the same profile (row
+count, distinct selection values, selection cardinalities, ranking
+``[min, max]`` ranges) plus the shard index and an O(dims) incremental
+:meth:`add_row` fold for manager-routed inserts.  Because the engine's
+predicates are equality conditions over selection dimensions, a shard
+whose value set does not contain a predicate's required value provably
+holds no matching tuple — ``can_match`` prunes it before any backend is
+built or run, and the decision is recorded on the gathered plan so it
+stays explainable.
 
-:attr:`ShardStatistics.ranking_ranges` is not consulted by
-:meth:`ShardStatistics.can_match` — equality predicates never touch
-ranking dimensions.  The ranges are maintained for the cost-based planner
-and range-predicate support on the roadmap, which will order and prune
-scatter legs by ranking bounds.
+The profile's selectivity and ranking-range methods feed the cost-based
+planner and the scatter gatherer: legs are ordered by
+:meth:`~repro.engine.cost.CostModel.scatter_key` (score floor, then
+expected matches) and a leg whose :meth:`score_floor` cannot beat the
+gathered k-th score is skipped entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from dataclasses import dataclass
 
-import numpy as np
-
-from repro.query import Predicate
+from repro.engine.cost import RelationStatistics
 from repro.storage.table import Relation
 
 
 @dataclass
-class ShardStatistics:
-    """Summary of one shard used for scatter-time pruning."""
+class ShardStatistics(RelationStatistics):
+    """Summary of one shard used for pruning, costing, and leg ordering."""
 
-    shard_index: int
-    num_tuples: int
-    #: Distinct coded values per selection dimension.
-    selection_values: Dict[str, FrozenSet[int]] = field(default_factory=dict)
-    #: Distinct-value count per selection dimension (cardinalities).
-    selection_cardinalities: Dict[str, int] = field(default_factory=dict)
-    #: Bounding ``(min, max)`` per ranking dimension.
-    ranking_ranges: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    shard_index: int = 0
+
+    _scope_word = "shard"
 
     @classmethod
     def of(cls, shard_index: int, relation: Relation) -> "ShardStatistics":
         """Compute statistics over one shard's relation."""
-        values: Dict[str, FrozenSet[int]] = {}
-        cards: Dict[str, int] = {}
-        for dim in relation.selection_dims:
-            distinct = np.unique(relation.selection_column(dim))
-            values[dim] = frozenset(int(v) for v in distinct)
-            cards[dim] = int(distinct.size)
-        ranges: Dict[str, Tuple[float, float]] = {}
-        if relation.num_tuples:
-            for dim in relation.ranking_dims:
-                column = relation.ranking_column(dim)
-                ranges[dim] = (float(column.min()), float(column.max()))
-        return cls(shard_index=shard_index, num_tuples=relation.num_tuples,
-                   selection_values=values, selection_cardinalities=cards,
-                   ranking_ranges=ranges)
+        return super().of(relation, shard_index=shard_index)
 
     def add_row(self, row) -> None:
         """Fold one inserted row into the statistics in O(dims).
@@ -72,19 +54,3 @@ class ShardStatistics:
         for dim, (low, high) in list(self.ranking_ranges.items()):
             value = float(row[dim])
             self.ranking_ranges[dim] = (min(low, value), max(high, value))
-
-    def can_match(self, predicate: Predicate) -> Tuple[bool, Optional[str]]:
-        """Whether any tuple of this shard can satisfy ``predicate``.
-
-        Returns ``(True, None)`` when the shard must be consulted, or
-        ``(False, reason)`` with a human-readable pruning reason.  The test
-        is conservative: ``False`` is only returned when the shard provably
-        contains no matching tuple, so pruning never changes results.
-        """
-        if self.num_tuples == 0:
-            return False, "empty shard"
-        for dim, value in predicate.conditions:
-            known = self.selection_values.get(dim)
-            if known is not None and int(value) not in known:
-                return False, f"{dim}={value} outside shard values"
-        return True, None

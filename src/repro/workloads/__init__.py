@@ -19,6 +19,7 @@ from repro.workloads.synthetic import (
     random_predicate,
     ranking_dim_names,
     selection_dim_names,
+    skewed_planner_workload,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "random_predicate",
     "ranking_dim_names",
     "selection_dim_names",
+    "skewed_planner_workload",
 ]

@@ -268,6 +268,72 @@ class TestBoundCacheAndBatch:
         cache.clear()
         assert len(cache) == 0
 
+    def test_execute_many_hoists_plans_for_repeated_queries(self, relation):
+        from repro.engine import ResultCache
+
+        class NoStoreCache(ResultCache):
+            """A cache that never retains results, forcing re-execution."""
+
+            def store(self, key, result):
+                result.extra["result_cache"] = "miss"
+
+        executor = Executor.for_relation(relation, block_size=200,
+                                         with_signature=False,
+                                         with_skyline=False)
+        executor.result_cache = NoStoreCache()
+        plan_calls = []
+        inner_plan = executor.planner.plan
+        executor.planner.plan = lambda query: (plan_calls.append(query)
+                                               or inner_plan(query))
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 4)
+        other = TopKQuery(Predicate.of(A1=2),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 4)
+        results = executor.execute_many([query, other, query, query])
+        # Even with every result re-executed (no result cache), the two
+        # distinct logical queries are planned exactly once each.
+        assert len(plan_calls) == 2
+        assert executor.cache_stats()["plans_reused"] == 2.0
+        assert results[0].tids == results[2].tids == results[3].tids
+        assert results[0].scores == results[3].scores
+        alone = executor.execute(query)
+        assert alone.tids == results[0].tids
+
+    def test_execute_many_fully_cached_batch_never_plans(self, relation):
+        executor = Executor.for_relation(relation, block_size=200,
+                                         with_signature=False,
+                                         with_skyline=False)
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 4)
+        warm = executor.execute(query)  # fills the result cache
+        plan_calls = []
+        inner_plan = executor.planner.plan
+        executor.planner.plan = lambda q: (plan_calls.append(q)
+                                           or inner_plan(q))
+        results = executor.execute_many([query, query, query])
+        # Every occurrence hits the result cache; hoisting is lazy, so no
+        # plan is ever computed and no reuse is (over)counted.
+        assert plan_calls == []
+        assert executor.cache_stats()["plans_reused"] == 0.0
+        assert all(r.extra["result_cache"] == "hit" for r in results)
+        assert results[0].tids == warm.tids
+
+    def test_execute_many_unkeyable_queries_still_replan(self, relation):
+        executor = Executor.for_relation(relation, block_size=200,
+                                         with_signature=False,
+                                         with_skyline=False)
+        plan_calls = []
+        inner_plan = executor.planner.plan
+        executor.planner.plan = lambda query: (plan_calls.append(query)
+                                               or inner_plan(query))
+        query = TopKQuery(Predicate.of(A1=1),
+                          PerTupleFunction(LinearFunction(["N1", "N2"],
+                                                          [1.0, 1.0])), 3)
+        executor.execute_many([query, query])
+        # No canonical key means no safe sharing: each occurrence plans.
+        assert len(plan_calls) == 2
+        assert executor.cache_stats()["plans_reused"] == 0.0
+
     def test_cached_results_identical_to_uncached(self, relation):
         plain = RankingCube(relation, block_size=200)
         cached = RankingCube(relation, block_size=200,
@@ -393,6 +459,46 @@ class TestResultCache:
         result = executor.execute(query)
         assert result.extra["result_cache"] == "miss"
         assert result.tids[0] == new_tid
+
+    def test_direct_append_refreshes_cached_statistics(self):
+        relation = generate_relation(SyntheticSpec(num_tuples=400,
+                                                   num_selection_dims=2,
+                                                   num_ranking_dims=2,
+                                                   cardinality=4, seed=33))
+        executor = Executor.for_relation(relation, block_size=100,
+                                         with_signature=False,
+                                         with_skyline=False)
+        query = TopKQuery(Predicate.of(A1=1),
+                          LinearFunction(["N1", "N2"], [1.0, 1.0]), 3)
+        executor.execute(query)  # plans → profiles the relation
+        before = executor.statistics_for(relation)
+        assert executor.statistics_for(relation) is before  # cached
+        assert before.num_tuples == 400
+        assert 55 not in before.selection_values["A1"]
+        # Mutate directly (the incremental-maintenance path): both the
+        # cached result AND the cached profile must refresh.
+        relation.append({"A1": 55, "A2": 0, "N1": 0.0, "N2": 0.0})
+        executor.registry.unregister("ranking-cube")  # cube predates the row
+        result = executor.execute(query)
+        assert result.extra["result_cache"] == "miss"
+        after = executor.statistics_for(relation)
+        assert after is not before
+        assert after.num_tuples == 401
+        assert 55 in after.selection_values["A1"]
+        assert after.selection_cardinalities["A1"] == 5
+        # The refreshed profile changes planning too: A1=55 is now a known
+        # value, so its selectivity is no longer zero.
+        assert after.selectivity(Predicate.of(A1=55)) > 0.0
+        assert before.selectivity(Predicate.of(A1=55)) == 0.0
+
+    def test_invalidate_results_drops_statistics_catalog(self, relation):
+        executor = Executor.for_relation(relation, block_size=200,
+                                         with_signature=False,
+                                         with_skyline=False)
+        executor.statistics_for(relation)
+        assert len(executor.statistics) == 1
+        executor.invalidate_results()
+        assert len(executor.statistics) == 0
 
     def test_unkeyable_function_is_never_cached(self, relation, executor):
         from repro.engine import query_cache_key

@@ -1,0 +1,229 @@
+"""Randomized oracle-parity harness: every execution path vs brute force.
+
+Seeded-random relations (varying tuple counts, dimensionality, selection
+cardinalities, value distributions) and queries (top-k and skyline, with
+empty / selective / provably-absent predicates, linear and distance
+functions, boundary k values) are generated deterministically; for every
+case the harness asserts that
+
+* the cost-planned engine front door,
+* every registered backend that supports the query, and
+* the scatter/gather path over shard counts {1, 2, 7}
+
+return results bit-identical to a brute-force oracle computed straight off
+the relation.  This is the safety net under the cost-based planner: no
+routing decision — static, cost-driven, or shard-level — may ever change
+an answer, only how fast it is computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Executor
+from repro.engine.backends import SkylineScanBackend
+from repro.engine.registry import kind_of
+from repro.functions.distance import SquaredDistanceFunction
+from repro.functions.linear import skewed_linear_function
+from repro.query import Predicate, SkylineQuery, TopKQuery
+from repro.shard import (
+    HashShardingPolicy,
+    RangeShardingPolicy,
+    ScatterGatherExecutor,
+    ShardManager,
+)
+from repro.workloads import SyntheticSpec, generate_relation
+from tests.conftest import brute_force_topk
+
+#: Shard counts the acceptance bar names; 2 uses range sharding, the rest hash.
+SHARD_COUNTS = (1, 2, 7)
+
+#: Varied relation shapes: size, dimensionality, cardinality, distribution.
+SPECS = (
+    SyntheticSpec(num_tuples=120, num_selection_dims=1, num_ranking_dims=2,
+                  cardinality=2, distribution="E", seed=901),
+    SyntheticSpec(num_tuples=180, num_selection_dims=2, num_ranking_dims=2,
+                  cardinality=5, distribution="C", seed=902),
+    SyntheticSpec(num_tuples=240, num_selection_dims=3, num_ranking_dims=2,
+                  cardinality=3, distribution="A", seed=903),
+    SyntheticSpec(num_tuples=300, num_selection_dims=2, num_ranking_dims=3,
+                  cardinality=8, distribution="E", seed=904),
+    SyntheticSpec(num_tuples=150, num_selection_dims=3, num_ranking_dims=3,
+                  cardinality=12, distribution="C", seed=905),
+    SyntheticSpec(num_tuples=420, num_selection_dims=2, num_ranking_dims=2,
+                  cardinality=4, distribution="A", seed=906),
+    SyntheticSpec(num_tuples=260, num_selection_dims=1, num_ranking_dims=3,
+                  cardinality=6, distribution="E", seed=907),
+    SyntheticSpec(num_tuples=340, num_selection_dims=3, num_ranking_dims=2,
+                  cardinality=9, distribution="E", seed=908),
+)
+
+TOPK_PER_RELATION = 18
+SKYLINE_PER_RELATION = 8
+
+
+def _random_conditions(rng, relation, max_conds):
+    """0..max_conds equality conditions, occasionally on an absent value."""
+    count = int(rng.integers(0, max_conds + 1))
+    dims = list(rng.choice(relation.selection_dims, size=count, replace=False))
+    conditions = {}
+    for dim in dims:
+        column = relation.selection_column(dim)
+        if rng.random() < 0.15:
+            conditions[dim] = int(column.max()) + 3  # provably absent
+        else:
+            conditions[dim] = int(column[rng.integers(0, len(column))])
+    return conditions
+
+
+def _topk_queries(rng, relation):
+    queries = []
+    for _ in range(TOPK_PER_RELATION):
+        conditions = _random_conditions(
+            rng, relation, min(3, len(relation.selection_dims)))
+        num_dims = int(rng.integers(1, len(relation.ranking_dims) + 1))
+        dims = list(rng.choice(relation.ranking_dims, size=num_dims,
+                               replace=False))
+        if rng.random() < 0.5:
+            function = skewed_linear_function(dims, float(rng.uniform(1, 4)),
+                                              rng=rng)
+        else:
+            function = SquaredDistanceFunction(
+                dims, [float(v) for v in rng.random(num_dims)])
+        k = int(rng.choice([1, 3, 7, relation.num_tuples + 5]))
+        queries.append(TopKQuery(Predicate.of(conditions), function, k))
+    return queries
+
+
+def _skyline_queries(rng, relation):
+    queries = []
+    for _ in range(SKYLINE_PER_RELATION):
+        conditions = _random_conditions(
+            rng, relation, min(2, len(relation.selection_dims)))
+        num_dims = int(rng.integers(2, len(relation.ranking_dims) + 1))
+        dims = tuple(rng.choice(relation.ranking_dims, size=num_dims,
+                                replace=False))
+        targets = None
+        if rng.random() < 0.4:
+            targets = tuple(float(v) for v in rng.random(num_dims))
+        queries.append(SkylineQuery(Predicate.of(conditions), dims,
+                                    targets=targets))
+    return queries
+
+
+def _slim_shard_factory(relation):
+    """Cheap per-shard stack: grid cube + scan top-k + scan skyline.
+
+    The parity claim is about the scatter/gather *path*, not which backend
+    a shard picks, so shards skip the R-tree / signature construction.
+    """
+    from repro.skyline import BooleanFirstSkyline
+
+    executor = Executor.for_relation(relation, block_size=32,
+                                     with_signature=False, with_skyline=False)
+    executor.register(SkylineScanBackend(BooleanFirstSkyline(relation)))
+    return executor
+
+
+def brute_force_skyline(relation, query):
+    """O(n^2) dominance oracle straight off the relation's columns."""
+    tids = [tid for tid in relation.iter_tids()
+            if query.predicate.matches(relation, tid)]
+    points = {}
+    for tid in tids:
+        values = relation.ranking_values(tid, query.preference_dims)
+        if query.targets is not None:
+            values = [abs(float(v) - float(t))
+                      for v, t in zip(values, query.targets)]
+        points[tid] = tuple(float(v) for v in values)
+
+    def dominates(a, b):
+        return (all(x <= y for x, y in zip(a, b))
+                and any(x < y for x, y in zip(a, b)))
+
+    return tuple(sorted(
+        tid for tid in tids
+        if not any(dominates(points[other], points[tid])
+                   for other in tids if other != tid)))
+
+
+@pytest.fixture(scope="module")
+def universe():
+    """Relations, engines, sharded engines, and query workloads — built once."""
+    rigs = []
+    for i, spec in enumerate(SPECS):
+        relation = generate_relation(spec, name=f"O{i}")
+        engine = Executor.for_relation(relation, block_size=48,
+                                       rtree_max_entries=8)
+        sharded = {}
+        for count in SHARD_COUNTS:
+            if count == 2:
+                policy = RangeShardingPolicy(relation,
+                                             relation.selection_dims[0], count)
+            else:
+                policy = HashShardingPolicy(count)
+            manager = ShardManager(relation, policy,
+                                   executor_factory=_slim_shard_factory)
+            sharded[count] = ScatterGatherExecutor(manager)
+        rng = np.random.default_rng(7000 + i)
+        queries = _topk_queries(rng, relation) + _skyline_queries(rng, relation)
+        rigs.append((relation, engine, sharded, queries))
+    return rigs
+
+
+def test_case_count_meets_bar(universe):
+    """The harness generates at least 200 randomized cases."""
+    total = sum(len(queries) for _, _, _, queries in universe)
+    assert total >= 200
+
+
+@pytest.mark.parametrize("spec_index", range(len(SPECS)))
+def test_topk_oracle_parity(universe, spec_index):
+    relation, engine, sharded, queries = universe[spec_index]
+    for query in queries:
+        if not isinstance(query, TopKQuery):
+            continue
+        oracle_tids, oracle_scores = brute_force_topk(relation, query)
+        routed = engine.execute(query)
+        assert routed.tids == oracle_tids, engine.explain(query)
+        assert routed.scores == oracle_scores, engine.explain(query)
+        for backend in engine.registry:
+            if backend.kind != "topk" or not backend.supports(query):
+                continue
+            direct = backend.run(query)
+            assert direct.tids == oracle_tids, backend.name
+            assert direct.scores == oracle_scores, backend.name
+        for count, scatter in sharded.items():
+            gathered = scatter.execute(query)
+            assert gathered.tids == oracle_tids, (count, scatter.explain(query))
+            assert gathered.scores == oracle_scores, count
+
+
+@pytest.mark.parametrize("spec_index", range(len(SPECS)))
+def test_skyline_oracle_parity(universe, spec_index):
+    relation, engine, sharded, queries = universe[spec_index]
+    for query in queries:
+        if not isinstance(query, SkylineQuery):
+            continue
+        oracle_tids = brute_force_skyline(relation, query)
+        routed = engine.execute(query)
+        assert tuple(sorted(routed.tids)) == oracle_tids, engine.explain(query)
+        for backend in engine.registry:
+            if backend.kind != "skyline" or not backend.supports(query):
+                continue
+            direct = backend.run(query)
+            assert tuple(sorted(direct.tids)) == oracle_tids, backend.name
+        for count, scatter in sharded.items():
+            gathered = scatter.execute(query)
+            assert tuple(sorted(gathered.tids)) == oracle_tids, count
+
+
+@pytest.mark.parametrize("spec_index", range(len(SPECS)))
+def test_every_case_was_planned(universe, spec_index):
+    """Every generated query routes through a real (explainable) plan."""
+    relation, engine, _, queries = universe[spec_index]
+    for query in queries:
+        plan = engine.plan(query)
+        assert plan.backend in engine.registry.names()
+        assert plan.query_kind == kind_of(query)

@@ -339,6 +339,143 @@ class TestMutation:
         assert after.extra["policy"] == "hash(3)"
 
 
+class TestCostOrderedScatter:
+    """Scatter legs run most-promising-first; hopeless legs are skipped."""
+
+    def _stratified(self, num_rows=240):
+        # A-value strata with disjoint ranking ranges: shard s of a range
+        # split on A holds scores in [s/3, s/3 + 0.25), so after the first
+        # (most promising) leg the k-th score provably beats the others.
+        schema = Schema(("A",), ("X", "Y"))
+        rows = []
+        for i in range(num_rows):
+            stratum = i % 3
+            low = stratum / 3.0
+            rows.append({"A": stratum,
+                         "X": low + (i % 40) * 0.003,
+                         "Y": low + ((i + 13) % 40) * 0.003})
+        relation = Relation.from_rows(schema, rows, name="strata")
+        manager = ShardManager(relation, RangeShardingPolicy(relation, "A", 3),
+                               block_size=30, rtree_max_entries=8,
+                               with_signature=False, with_skyline=False)
+        return relation, manager, ScatterGatherExecutor(manager)
+
+    def test_legs_ordered_by_score_floor(self):
+        _, _, engine = self._stratified()
+        query = TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5)
+        plan = engine.plan(query)
+        assert plan.details["scatter_order"] == "0,1,2"
+        result = engine.execute(query)
+        assert result.extra["scatter_order"] == "0,1,2"
+
+    def test_shard_executor_reuses_shard_statistics(self, relation):
+        # The shard layer already profiled each sub-relation; the stack's
+        # cost planner must consume that profile, not re-scan the columns.
+        engine = build_engine(relation, "range-width", 3)
+        engine.execute(TopKQuery(Predicate.of(), sum_function(["N1", "N2"]), 5))
+        seeded = 0
+        for shard in engine.manager.shards:
+            executor = engine.manager._executors.get(shard.index)
+            if executor is None:
+                continue
+            assert executor.statistics.of(shard.relation) is shard.stats
+            seeded += 1
+        assert seeded > 0
+
+    def test_insert_keeps_seeded_stats_on_untouched_shards(self):
+        base = generate_relation(SyntheticSpec(num_tuples=400,
+                                               num_selection_dims=2,
+                                               num_ranking_dims=2,
+                                               cardinality=4, seed=21))
+        manager = ShardManager(base, RangeShardingPolicy(base, "A1", 4),
+                               block_size=50, rtree_max_entries=16,
+                               with_signature=False, with_skyline=False)
+        engine = ScatterGatherExecutor(manager)
+        engine.execute(TopKQuery(Predicate.of(), sum_function(["N1", "N2"]), 5))
+        row = {"A1": 0, "A2": 1, "N1": 0.2, "N2": 0.2}
+        owner = manager.policy.shard_for_row(base, row, base.num_tuples)
+        manager.insert(row)
+        for shard in manager.shards:
+            executor = manager._executors.get(shard.index)
+            if executor is None:
+                continue
+            # Untouched shards keep their exact profile without re-scanning.
+            assert shard.index != owner  # the owner's stack was dropped
+            assert executor.statistics.of(shard.relation) is shard.stats
+
+    def test_gathered_plan_reports_cost_mode(self):
+        # Every per-shard planner runs cost-based by default, and explain
+        # must say so rather than defaulting to the static label.
+        _, _, engine = self._stratified()
+        query = TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5)
+        assert engine.plan(query).mode == "cost"
+        assert "mode=cost" in engine.explain(query)
+
+    def test_hopeless_legs_skipped_and_answers_identical(self):
+        relation, _, engine = self._stratified()
+        unsharded = Executor.for_relation(relation, block_size=30,
+                                          with_signature=False,
+                                          with_skyline=False)
+        query = TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5)
+        expected = unsharded.execute(query)
+        result = engine.execute(query)
+        assert result.tids == expected.tids
+        assert result.scores == expected.scores
+        # Shard 0's 80 rows fill the top-5 below every other shard's score
+        # floor, so shards 1 and 2 are skipped without being executed.
+        assert result.extra["shards_consulted"] == "0"
+        skipped = result.extra["shards_skipped"]
+        assert "1:score floor" in skipped and "2:score floor" in skipped
+        assert result.tuples_evaluated <= 80
+
+    def test_skip_never_fires_below_k_gathered(self):
+        # k exceeds the whole relation: fewer than k candidates can ever be
+        # gathered, so every leg must run even with hopeless floors.
+        relation, _, engine = self._stratified()
+        unsharded = Executor.for_relation(relation, block_size=30,
+                                          with_signature=False,
+                                          with_skyline=False)
+        query = TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 250)
+        expected = unsharded.execute(query)
+        result = engine.execute(query)
+        assert result.tids == expected.tids
+        assert result.scores == expected.scores
+        assert result.extra["shards_consulted"] == "0,1,2"
+        assert result.extra["shards_skipped"] == "-"
+
+    def test_tied_floor_is_not_skipped(self):
+        # Two shards with identical quantized values: the second shard's
+        # floor exactly equals the gathered k-th score, so it must still
+        # run (a tied tuple with a smaller tid could be admitted).
+        schema = Schema(("A",), ("X", "Y"))
+        rows = [{"A": i % 2, "X": 0.5, "Y": 0.5} for i in range(40)]
+        relation = Relation.from_rows(schema, rows, name="tied")
+        manager = ShardManager(relation, RangeShardingPolicy(relation, "A", 2),
+                               block_size=10, rtree_max_entries=8,
+                               with_signature=False, with_skyline=False)
+        engine = ScatterGatherExecutor(manager)
+        unsharded = Executor.for_relation(relation, block_size=10,
+                                          with_signature=False,
+                                          with_skyline=False)
+        query = TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5)
+        expected = unsharded.execute(query)
+        result = engine.execute(query)
+        assert result.extra["shards_skipped"] == "-"
+        assert result.extra["shards_consulted"] == "0,1"
+        assert result.tids == expected.tids  # smallest tids win the tie
+
+    def test_parallel_scatter_skips_nothing(self):
+        relation, _, _ = self._stratified()
+        manager = ShardManager(relation, RangeShardingPolicy(relation, "A", 3),
+                               block_size=30, rtree_max_entries=8,
+                               with_signature=False, with_skyline=False)
+        engine = ScatterGatherExecutor(manager, parallel=True)
+        query = TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5)
+        result = engine.execute(query)
+        assert result.extra["shards_consulted"] == "0,1,2"
+        assert result.extra["shards_skipped"] == "-"
+
+
 class TestBatchAndCache:
     def test_execute_many_and_result_cache(self, relation):
         _, engine = make_sharded_engine(relation, 3, range_dim="A1",
