@@ -1,0 +1,123 @@
+"""Fused batch execution vs the per-query loop on a shared-function workload.
+
+Drives a batch of top-k queries that reuse a handful of ranking functions
+(the workload the ranking cube exists for: many ad-hoc queries over one
+structure) through the engine twice: once as a per-query loop and once
+through the fused ``execute_many`` path, which groups the batch by
+(backend, canonical function key) and answers each group with one frontier
+sweep.  Both paths must return bit-identical answers; the gate is work:
+
+* per fused group, the fused sweep never evaluates more tuples than the
+  loop spent on the same queries, and
+* across the workload, fused execution evaluates **at most half** of the
+  loop's aggregate tuples.
+
+Run directly (``--quick`` for the CI smoke configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_fusion.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine import Executor  # noqa: E402
+from repro.engine.cache import function_fuse_key  # noqa: E402
+from repro.functions.linear import LinearFunction  # noqa: E402
+from repro.query import Predicate, TopKQuery  # noqa: E402
+from repro.workloads import SyntheticSpec, generate_relation  # noqa: E402
+
+
+def shared_function_batch(relation) -> List[TopKQuery]:
+    """A batch in which many queries share each ranking function.
+
+    Per function: a spread of ``k`` values over the empty predicate (fully
+    overlapping tuple sets — the best case for scoring each block once) plus
+    selective predicates on different dimensions whose match sets overlap
+    the broad queries.
+    """
+    functions = [
+        LinearFunction(["N1", "N2"], [1.0, 2.0]),
+        LinearFunction(["N1", "N2"], [3.0, 1.0]),
+    ]
+    queries: List[TopKQuery] = []
+    for function in functions:
+        for k in (1, 3, 5, 10, 20, 40):
+            queries.append(TopKQuery(Predicate.of(), function, k))
+        for value in (0, 1, 2, 3):
+            queries.append(TopKQuery(Predicate.of(A1=value), function, 10))
+        for value in (0, 1):
+            queries.append(TopKQuery(Predicate.of(A2=value), function, 5))
+    return queries
+
+
+def build_engine(num_tuples: int) -> Tuple[object, List[TopKQuery]]:
+    relation = generate_relation(SyntheticSpec(
+        num_tuples=num_tuples, num_selection_dims=3, num_ranking_dims=2,
+        cardinality=8, seed=23))
+    executor = Executor.for_relation(relation, block_size=200,
+                                     with_signature=False, with_skyline=False)
+    return executor, shared_function_batch(relation)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    num_tuples = 6000 if args.quick else 20000
+    looped_engine, queries = build_engine(num_tuples)
+    fused_engine, _ = build_engine(num_tuples)
+
+    looped = [looped_engine.execute(query) for query in queries]
+    fused = fused_engine.execute_many(queries)
+
+    failures: List[str] = []
+    group_loop: Dict[tuple, int] = {}
+    group_fused: Dict[tuple, int] = {}
+    print(f"# batch fusion ({'quick' if args.quick else 'full'} mode)")
+    print(f"tuples={num_tuples} queries={len(queries)}")
+    header = (f"{'#':>3} {'k':>3} {'predicate':<12} {'backend':<14}"
+              f"{'loop tuples':>12}{'fused tuples':>13}{'group':>7}")
+    print(header)
+    for i, (query, alone, batched) in enumerate(zip(queries, looped, fused)):
+        if alone.tids != batched.tids or alone.scores != batched.scores:
+            failures.append(f"query {i}: fused answer differs from the loop")
+        group = (batched.extra.get("backend", "?"),
+                 function_fuse_key(query.function))
+        group_loop[group] = group_loop.get(group, 0) + alone.tuples_evaluated
+        group_fused[group] = group_fused.get(group, 0) + batched.tuples_evaluated
+        predicate = ",".join(f"{d}={v}" for d, v in
+                             query.predicate.conditions) or "(none)"
+        print(f"{i:>3} {query.k:>3} {predicate:<12} "
+              f"{batched.extra.get('backend', '?'):<14}"
+              f"{alone.tuples_evaluated:>12}{batched.tuples_evaluated:>13}"
+              f"{batched.extra.get('fused_group_size', 0.0):>7.0f}")
+
+    loop_total = sum(group_loop.values())
+    fused_total = sum(group_fused.values())
+    for group, loop_tuples in sorted(group_loop.items(), key=str):
+        fused_tuples = group_fused[group]
+        print(f"group {group[0]}: loop {loop_tuples}, fused {fused_tuples}")
+        if fused_tuples > loop_tuples:
+            failures.append(
+                f"group {group[0]} evaluated {fused_tuples} tuples fused, "
+                f"more than the loop's {loop_tuples}")
+    print(f"aggregate tuples evaluated: loop {loop_total}, fused {fused_total}")
+    if fused_total * 2 > loop_total:
+        failures.append(
+            f"fused execution evaluated {fused_total} tuples in aggregate, "
+            f"more than half of the loop's {loop_total}")
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Calibrate the planner's CostModel constants from measured touch times.
+
+The :class:`~repro.engine.cost.CostModel` prices every backend in
+*tuple-score units* using hand-tuned constants (scoring one tuple = 1.0, a
+grid block touch = 8.0, an R-tree node touch = 32.0, ...).  This offline
+tool measures the real per-tuple, per-row-filter, per-block, per-node, and
+per-signature-test times on a synthetic relation and prints a ready-to-use
+``CostModel(**constants)`` snippet with each structural constant expressed
+as a multiple of the measured per-tuple scoring time.  Nothing is changed
+automatically — the stock defaults stay in place until an operator passes
+the emitted constants to their executor::
+
+    executor = Executor(cost_model=CostModel(block_touch_cost=...))
+
+Run directly (``--quick`` for a smaller relation)::
+
+    PYTHONPATH=src python benchmarks/calibrate_cost_model.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.cube import RankingCube  # noqa: E402
+from repro.engine.cost import CostModel  # noqa: E402
+from repro.functions.linear import LinearFunction  # noqa: E402
+from repro.query import Predicate, TopKQuery  # noqa: E402
+from repro.signature import SignatureRankingCube  # noqa: E402
+from repro.workloads import SyntheticSpec, generate_relation  # noqa: E402
+
+
+def best_of(repeats: int, measure: Callable[[], float]) -> float:
+    """Minimum of ``repeats`` timing samples (noise only ever adds time)."""
+    return min(measure() for _ in range(repeats))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller relation for a fast calibration pass")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions per probe (minimum is kept)")
+    args = parser.parse_args(argv)
+
+    num_tuples = 8000 if args.quick else 40000
+    relation = generate_relation(SyntheticSpec(
+        num_tuples=num_tuples, num_selection_dims=3, num_ranking_dims=2,
+        cardinality=10, seed=31))
+    function = LinearFunction(["N1", "N2"], [1.0, 2.0])
+    values = relation.ranking_values_bulk(
+        np.arange(relation.num_tuples), function.dims)
+
+    # Per-tuple scoring: the model's unit (score_cost = 1.0 by definition).
+    # Scored in block-sized batches — that is the granularity the engines
+    # actually pay, so the per-call overhead is amortized realistically
+    # rather than over the whole relation at once.
+    block_size = 200
+
+    def score_pass() -> float:
+        start = time.perf_counter()
+        for low in range(0, len(values), block_size):
+            function.evaluate_batch(values[low:low + block_size])
+        return time.perf_counter() - start
+
+    t_score = best_of(args.repeats, score_pass) / relation.num_tuples
+
+    # Per-row predicate filtering (the table scan's 0.02 constant).
+    conditions = {"A1": 1}
+
+    def filter_pass() -> float:
+        start = time.perf_counter()
+        relation.mask_equal(conditions)
+        return time.perf_counter() - start
+
+    t_filter = best_of(args.repeats, filter_pass) / relation.num_tuples
+
+    # Per-block touch: what the frontier pays for one block beyond the
+    # scoring — deriving the function's lower bound over the block box plus
+    # fetching the block's qualifying tid list.
+    cube = RankingCube(relation, block_size=block_size)
+    bids = cube.block_table.non_empty_bids()
+    provider = cube.provider_for(Predicate.of(A1=1))
+
+    def block_pass() -> float:
+        provider.reset()
+        start = time.perf_counter()
+        for bid in bids:
+            function.lower_bound(cube.grid.block_box(bid))
+            provider.tids_in_block(bid)
+        return time.perf_counter() - start
+
+    t_block = best_of(args.repeats, block_pass) / max(1, len(bids))
+
+    # Per-node touch: expanding one R-tree node — reading its page and
+    # deriving every child's lower bound (leaf pages read their entries).
+    signature = SignatureRankingCube(relation, rtree_max_entries=32)
+    rtree = signature.rtree
+
+    def rtree_pass() -> Tuple[float, int]:
+        nodes = 0
+        start = time.perf_counter()
+        pending = [rtree.root()]
+        while pending:
+            node = pending.pop()
+            nodes += 1
+            if node.is_leaf:
+                for entry in rtree.leaf_entries(node):
+                    pass
+            else:
+                for child in rtree.children(node):
+                    function.lower_bound(child.box)
+                    pending.append(child)
+        return time.perf_counter() - start, nodes
+
+    rtree_samples = [rtree_pass() for _ in range(args.repeats)]
+    t_node = min(elapsed / max(1, nodes) for elapsed, nodes in rtree_samples)
+
+    # Per-signature test: reader probes over real leaf-entry paths.
+    reader = signature.signature_reader(Predicate.of(A1=1))
+    paths = [path for _, path in signature.rtree.iter_tuple_paths()][:2000]
+
+    def signature_pass() -> float:
+        start = time.perf_counter()
+        for path in paths:
+            reader.test(path)
+        return time.perf_counter() - start
+
+    t_sig = best_of(args.repeats, signature_pass) / max(1, len(paths))
+
+    constants = {
+        "row_filter_cost": t_filter / t_score,
+        "block_touch_cost": t_block / t_score,
+        "node_touch_cost": t_node / t_score,
+        "signature_test_cost": t_sig / t_score,
+    }
+    defaults = {name: getattr(CostModel, name) for name in constants}
+
+    print(f"# cost-model calibration ({'quick' if args.quick else 'full'} "
+          f"mode)")
+    print(f"tuples={num_tuples} repeats={args.repeats}")
+    print(f"{'probe':<24}{'seconds/op':>14}{'tuple units':>13}{'default':>9}")
+    print(f"{'score one tuple':<24}{t_score:>14.3e}{1.0:>13.2f}"
+          f"{CostModel.score_cost:>9.2f}")
+    for name, probe in (("row_filter_cost", t_filter),
+                        ("block_touch_cost", t_block),
+                        ("node_touch_cost", t_node),
+                        ("signature_test_cost", t_sig)):
+        print(f"{name:<24}{probe:>14.3e}{constants[name]:>13.2f}"
+              f"{defaults[name]:>9.2f}")
+    print()
+    print("# measured constants (pass to your executor; defaults unchanged):")
+    print("CostModel(")
+    for name, value in constants.items():
+        print(f"    {name}={value:.3f},")
+    print(")")
+    # Sanity only — an offline tool must not gate CI on machine speed.
+    CostModel(**constants)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

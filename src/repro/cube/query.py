@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -99,6 +99,29 @@ def find_start_block(grid: GridPartition, function: RankingFunction) -> int:
         return 0
     point = {dim: best_corner.get(dim, domain.interval(dim).low) for dim in grid.dims}
     return grid.bid_of_point(point)
+
+
+class _FusedQueryState:
+    """Book-keeping of one query inside a fused frontier sweep."""
+
+    __slots__ = ("provider", "topk", "live", "blocks", "tuples", "charged",
+                 "peak")
+
+    def __init__(self, provider: CellProvider, k: int) -> None:
+        self.provider = provider
+        self.topk = TopKAccumulator(k)
+        self.live = True
+        #: Blocks examined while live — what a solo run of this query would
+        #: report as ``states_generated``.
+        self.blocks = 0
+        #: Tuples this query consumed (fed to its accumulator) — the solo
+        #: ``tuples_evaluated``.
+        self.tuples = 0
+        #: Unique scoring work attributed to this query: each tuple scored
+        #: by the sweep is charged to exactly one consumer, so the group's
+        #: charges sum to the tuples actually evaluated.
+        self.charged = 0
+        self.peak = 0
 
 
 class GridTopKExecutor:
@@ -206,3 +229,156 @@ class GridTopKExecutor:
             tuples_evaluated=tuples_evaluated,
             elapsed_seconds=elapsed,
         )
+
+    def execute_fused(self, function: RankingFunction,
+                      requests: Sequence[Tuple[CellProvider, int]],
+                      ) -> List[QueryResult]:
+        """One frontier sweep answering a whole group of same-function queries.
+
+        ``requests`` pairs each query's cell provider with its ``k``; every
+        query must rank by ``function`` (the engine groups batches by the
+        function's canonical value key, so value-equal function objects
+        share one sweep).  The frontier's evolution — which blocks are
+        popped and expanded, in which order — depends only on the function
+        and the grid geometry, never on a predicate or ``k``, so a solo run
+        of any query is exactly a prefix of this shared sweep.  Each query
+        keeps its own accumulator and *retires* at the same frontier state
+        where its solo run would halt (k-th score strictly beats the best
+        unseen bound); each popped block's union of needed tuples is scored
+        once with :meth:`~repro.functions.base.RankingFunction.evaluate_batch`
+        and fed to every live accumulator that asked for them.  Answers are
+        bit-identical to the per-query loop; the shared scoring work is the
+        saving.
+
+        Per-result accounting: ``tuples_evaluated`` is each query's
+        *attributed* share of the unique scoring work (a tuple scored once
+        for three queries is charged to exactly one of them), so summing
+        the group's results counts shared work once.  The solo-equivalent
+        consumption lands in ``extra["tuples_evaluated"]``;
+        ``states_generated`` / ``peak_heap_size`` stay solo-equivalent, and
+        the sweep's disk accesses are attributed to the first result.
+        """
+        for dim in function.dims:
+            if dim not in self.grid.dims:
+                raise QueryError(
+                    f"ranking dimension {dim!r} is not covered by the grid partition")
+        start_time = time.perf_counter()
+        pagers = {
+            id(self.block_table.pager): self.block_table.pager,
+        }
+        states: List[_FusedQueryState] = []
+        for provider, k in requests:
+            provider.reset()
+            for sub in getattr(provider, "providers", [provider]):
+                cuboid = getattr(sub, "cuboid", None)
+                if cuboid is not None:
+                    pagers[id(cuboid.pager)] = cuboid.pager
+            states.append(_FusedQueryState(provider, k))
+        io_before = {key: p.stats.physical_reads for key, p in pagers.items()}
+
+        start_bid = find_start_block(self.grid, function)
+        frontier: List[Tuple[float, int]] = []
+        inserted: Set[int] = {start_bid}
+        live = len(states)
+        peak_frontier = 0
+        dim_index = [self.grid.dims.index(d) for d in function.dims]
+        whole_grid = dim_index == list(range(len(self.grid.dims)))
+
+        heapq.heappush(frontier, (self._block_bound(function, start_bid), start_bid))
+
+        while frontier and live:
+            peak_frontier = max(peak_frontier, len(frontier))
+            unseen_score, bid = frontier[0]
+            for state in states:
+                # Same strict halt as the solo loop, checked at the same
+                # frontier state — only the retirement is per query.
+                if (state.live and state.topk.is_full()
+                        and state.topk.kth_score < unseen_score):
+                    state.live = False
+                    state.peak = peak_frontier
+                    live -= 1
+            if not live:
+                break
+            heapq.heappop(frontier)
+
+            needs: List[Tuple[_FusedQueryState, List[int]]] = []
+            for state in states:
+                if not state.live:
+                    continue
+                state.blocks += 1
+                tids = state.provider.tids_in_block(bid)
+                if tids:
+                    needs.append((state, tids))
+            if needs:
+                block_tids, block_values = self.block_table.block_arrays(bid)
+                row_of = self.block_table.block_row_index(bid)
+                if len(needs) == 1:
+                    union = needs[0][1]
+                else:
+                    seen: Set[int] = set()
+                    union = [tid for _, tids in needs for tid in tids
+                             if not (tid in seen or seen.add(tid))]
+                kept = [tid for tid in union if tid in row_of]
+                score_of: Dict[int, float] = {}
+                if kept:
+                    if (len(kept) == len(block_tids)
+                            and np.array_equal(kept, block_tids)):
+                        selected = block_values
+                    else:
+                        selected = block_values[[row_of[tid] for tid in kept]]
+                    if not whole_grid:
+                        selected = selected[:, dim_index]
+                    scores = function.evaluate_batch(selected)
+                    if len(needs) == 1:
+                        # Single consumer: feed the accumulator directly,
+                        # exactly like the solo loop — no per-tuple dict.
+                        state = needs[0][0]
+                        for tid, score in zip(kept, scores):
+                            state.topk.offer(tid, float(score))
+                        state.tuples += len(kept)
+                        state.charged += len(kept)
+                    else:
+                        score_of = {tid: float(score)
+                                    for tid, score in zip(kept, scores)}
+                if score_of:
+                    charged: Set[int] = set()
+                    for state, tids in needs:
+                        consumed = 0
+                        for tid in tids:
+                            score = score_of.get(tid)
+                            if score is None:
+                                continue
+                            state.topk.offer(tid, score)
+                            consumed += 1
+                            if tid not in charged:
+                                charged.add(tid)
+                                state.charged += 1
+                        state.tuples += consumed
+
+            for neighbor in self.grid.neighbors(bid):
+                if neighbor in inserted:
+                    continue
+                inserted.add(neighbor)
+                bound = self._block_bound(function, neighbor)
+                heapq.heappush(frontier, (bound, neighbor))
+
+        elapsed = time.perf_counter() - start_time
+        disk = sum(
+            p.stats.physical_reads - io_before[key] for key, p in pagers.items()
+        )
+        results: List[QueryResult] = []
+        for position, state in enumerate(states):
+            if state.live:
+                state.peak = peak_frontier
+            ranked = state.topk.ranked()
+            results.append(QueryResult(
+                tids=tuple(tid for tid, _ in ranked),
+                scores=tuple(score for _, score in ranked),
+                disk_accesses=disk if position == 0 else 0,
+                states_generated=state.blocks,
+                peak_heap_size=state.peak,
+                tuples_evaluated=state.charged,
+                elapsed_seconds=elapsed,
+                extra={"tuples_evaluated": float(state.tuples)},
+            ))
+        return results

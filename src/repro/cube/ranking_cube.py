@@ -152,6 +152,32 @@ class RankingCube:
         result.extra["covering_cuboids"] = float(len(chosen) if chosen else 1)
         return result
 
+    def query_batch(self, queries: Sequence[TopKQuery]) -> List[QueryResult]:
+        """Answer a same-function batch of top-k queries with one fused sweep.
+
+        Every query must rank by the same function (by value — the engine
+        layer groups batches by the function's canonical key before calling
+        this); predicates and ``k`` may differ freely.  One frontier sweep
+        serves the whole group (see
+        :meth:`~repro.cube.query.GridTopKExecutor.execute_fused`), scoring
+        each block's tuples once instead of once per query.  Results are
+        bit-identical to running :meth:`query` per entry.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        requests = []
+        chosen_counts = []
+        for query in queries:
+            query.validate(self.relation)
+            provider, chosen = self.plan_for(query.predicate)
+            requests.append((provider, query.k))
+            chosen_counts.append(len(chosen) if chosen else 1)
+        results = self._executor.execute_fused(queries[0].function, requests)
+        for result, covering in zip(results, chosen_counts):
+            result.extra["covering_cuboids"] = float(covering)
+        return results
+
     def attach_bound_cache(self, bound_cache) -> None:
         """Share a per-(function, block) lower-bound cache with the executor."""
         self._executor.bound_cache = bound_cache

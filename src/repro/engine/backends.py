@@ -31,6 +31,7 @@ class RankingCubeBackend(Backend):
     """Grid ranking cube (Chapter 3) — also serves the fragments variant."""
 
     kind = KIND_TOPK
+    supports_fusion = True
 
     def __init__(self, cube, name: str = "ranking-cube", priority: int = 10) -> None:
         self.cube = cube
@@ -77,11 +78,16 @@ class RankingCubeBackend(Backend):
     def run(self, query):
         return self.cube.query(query)
 
+    def execute_batch(self, queries) -> List:
+        """Fused path: one frontier sweep serves the whole group."""
+        return self.cube.query_batch(list(queries))
+
 
 class SignatureCubeBackend(Backend):
     """Signature ranking cube with branch-and-bound search (Chapter 4)."""
 
     kind = KIND_TOPK
+    supports_fusion = True
 
     def __init__(self, executor, name: str = "signature-cube",
                  priority: int = 20) -> None:
@@ -120,6 +126,10 @@ class SignatureCubeBackend(Backend):
 
     def run(self, query):
         return self.executor.query(query)
+
+    def execute_batch(self, queries) -> List:
+        """Fused path: one root-to-leaf traversal serves the whole group."""
+        return self.executor.query_batch(list(queries))
 
 
 class TableScanBackend(Backend):

@@ -26,7 +26,7 @@ import dataclasses
 import itertools
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 _scope_counter = itertools.count()
 
@@ -131,6 +131,21 @@ def _function_key(function) -> Optional[Tuple[object, ...]]:
     return tuple(parts)
 
 
+def function_fuse_key(function) -> Tuple[object, ...]:
+    """Key under which two queries may share one fused execution sweep.
+
+    Value-based when the function is canonically keyable (see
+    :func:`_function_key`), object identity otherwise — so two queries fuse
+    exactly when their ranking functions provably compute the same scores.
+    Identity keys make *uncacheable* functions (expression trees, custom
+    subclasses) still fusable whenever a batch reuses the same object.
+    """
+    key = _function_key(function)
+    if key is not None:
+        return key
+    return ("object", id(function))
+
+
 def query_cache_key(query) -> Optional[Tuple[object, ...]]:
     """Canonical cache key of a query, or ``None`` when uncacheable.
 
@@ -155,6 +170,42 @@ def query_cache_key(query) -> Optional[Tuple[object, ...]]:
                 tuple(query.preference_dims),
                 tuple(query.targets) if query.targets is not None else None)
     return None
+
+
+def partition_batch(queries, scope: int, cache: "ResultCache"):
+    """Split a batch into served cache hits, deduplicated units, and repeats.
+
+    Shared by the engine and scatter/gather ``execute_many`` front doors.
+    Returns ``(results, units, unit_index, followers)``:
+
+    * ``results`` — one slot per query, pre-filled with the cache hits
+      (``None`` where execution is still needed);
+    * ``units`` — ``(submission index, query, scoped key)`` triples to
+      execute exactly once each (``key`` is ``None`` for uncacheable
+      queries, which are never deduplicated);
+    * ``unit_index`` — scoped key → position in ``units``;
+    * ``followers`` — batch repeats of an already-listed unit, to resolve
+      against the cache after the units ran (re-executing only under a
+      cache that refuses to retain results).
+    """
+    results = [None] * len(queries)
+    units = []
+    unit_index = {}
+    followers = []
+    for i, query in enumerate(queries):
+        key = query_cache_key(query)
+        if key is not None:
+            key = (scope,) + key
+            hit = cache.lookup(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+            if key in unit_index:
+                followers.append((i, query, key))
+                continue
+            unit_index[key] = len(units)
+        units.append((i, query, key))
+    return results, units, unit_index, followers
 
 
 class ResultCache:
@@ -210,10 +261,44 @@ class ResultCache:
         self.put(key, dataclasses.replace(result, extra=dict(result.extra)))
         result.extra["result_cache"] = "miss"
 
-    def invalidate(self) -> None:
-        """Drop every cached result (the data underneath changed)."""
-        self._results.clear()
+    def invalidate(self, row: Optional[Mapping[str, object]] = None) -> None:
+        """Drop the cached results the mutation may have changed.
+
+        ``row=None`` (a reshard, an unknown mutation) drops everything.
+        Given the inserted ``row``, only entries the row can *affect* are
+        dropped: an entry survives exactly when its canonical predicate
+        names a selection value the row provably does not carry — such an
+        answer cannot include the new row.  Predicate-free entries (the
+        empty predicate matches every row) and keys whose predicate cannot
+        be recovered are dropped conservatively, so partial invalidation
+        can narrow the blast radius but never serve a stale answer.
+        """
         self.invalidations += 1
+        if row is None:
+            self._results.clear()
+            return
+        survivors = OrderedDict(
+            (key, result) for key, result in self._results.items()
+            if self._row_excluded(key, row))
+        self._results = survivors
+
+    @staticmethod
+    def _row_excluded(key: Tuple[object, ...],
+                      row: Mapping[str, object]) -> bool:
+        """Whether ``key``'s predicate provably excludes the inserted row."""
+        for position, part in enumerate(key):
+            if part in ("topk", "skyline") and position + 1 < len(key):
+                conditions = key[position + 1]
+                break
+        else:
+            return False  # unrecognized key shape: drop conservatively
+        try:
+            for dim, value in conditions:
+                if dim in row and int(row[dim]) != int(value):
+                    return True
+        except (TypeError, ValueError):
+            return False  # malformed conditions: drop conservatively
+        return False
 
     @property
     def hit_rate(self) -> float:

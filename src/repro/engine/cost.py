@@ -259,6 +259,26 @@ class CostModel:
     #: Shape factor for functions with no monotonicity structure.
     general_shape_factor = 4.0
 
+    #: Constants overridable per instance (``CostModel(**constants)``),
+    #: e.g. from ``benchmarks/calibrate_cost_model.py`` measurements.
+    TUNABLE = ("row_filter_cost", "score_cost", "block_touch_cost",
+               "node_touch_cost", "signature_test_cost",
+               "frontier_overvisit", "intersection_penalty",
+               "general_shape_factor")
+
+    def __init__(self, **constants: float) -> None:
+        """Optionally override the class-level constants on this instance.
+
+        Accepts exactly the names in :attr:`TUNABLE` so a typo'd constant
+        fails loudly instead of silently keeping the default.
+        """
+        for name, value in constants.items():
+            if name not in self.TUNABLE:
+                raise ValueError(
+                    f"unknown cost constant {name!r}; tunable constants: "
+                    f"{', '.join(self.TUNABLE)}")
+            setattr(self, name, float(value))
+
     # ------------------------------------------------------------------
     # entry points
     # ------------------------------------------------------------------

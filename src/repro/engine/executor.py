@@ -9,8 +9,9 @@ ranking function never re-derives a block bound.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.query import TopKQuery
 from repro.storage.table import Relation
 
 from repro.engine.backends import (
@@ -24,14 +25,14 @@ from repro.engine.backends import (
 from repro.engine.cache import (
     LowerBoundCache,
     ResultCache,
+    function_fuse_key,
     new_cache_scope,
+    partition_batch,
     query_cache_key,
 )
 from repro.engine.cost import CostModel, RelationStatistics, StatisticsCatalog
 from repro.engine.plan import MODE_COST, QueryPlan
 
-#: Sentinel distinguishing "no key passed" from "query is uncacheable".
-_KEY_UNSET = object()
 from repro.engine.planner import Planner
 from repro.engine.registry import Backend, EngineRegistry
 
@@ -63,6 +64,8 @@ class Executor:
         self.bound_cache = bound_cache or LowerBoundCache()
         self.result_cache = result_cache or ResultCache()
         self.plans_reused = 0
+        self.fused_groups = 0
+        self.fused_queries = 0
         self._cache_scope = new_cache_scope()
         self._watched_relations: List[Relation] = []
         self._watched_versions: Dict[int, int] = {}
@@ -87,7 +90,7 @@ class Executor:
         """One-line explanation of how ``query`` would be routed."""
         return self.planner.explain(query)
 
-    def execute(self, query, *, _plan_factory=None, _key=_KEY_UNSET):
+    def execute(self, query):
         """Plan ``query``, run it on the chosen backend, annotate the result.
 
         Results of cacheable queries (top-k and skyline) are memoized in
@@ -96,14 +99,8 @@ class Executor:
         same ``k`` — returns the cached answer without planning or
         execution (``extra["result_cache"]`` says which happened).  Cached
         results keep the statistics of the run that produced them.
-
-        ``_plan_factory`` is how ``execute_many`` hoists plans across
-        repeated batch entries: it is only invoked on an actual
-        result-cache miss, so a fully cached batch never plans at all.
-        ``_key`` forwards an already-computed :func:`query_cache_key` to
-        avoid canonicalizing the query twice on the batch path.
         """
-        key = query_cache_key(query) if _key is _KEY_UNSET else _key
+        key = query_cache_key(query)
         if key is not None:
             key = (self._cache_scope,) + key
             if self._watched_mutated():
@@ -112,10 +109,7 @@ class Executor:
             hit = self.result_cache.lookup(key)
             if hit is not None:
                 return hit
-        if _plan_factory is not None:
-            plan = _plan_factory()
-        else:
-            plan = self.planner.plan(query)
+        plan = self.planner.plan(query)
         backend = self.registry.get(plan.backend)
         result = backend.run(query)
         result.extra["backend"] = plan.backend
@@ -125,42 +119,100 @@ class Executor:
         return result
 
     def execute_many(self, queries: Iterable) -> List:
-        """Execute a batch of queries, sharing planning and lower-bound work.
+        """Execute a batch of queries, fusing shared work across the batch.
 
-        Results come back in submission order.  The shared
-        :class:`LowerBoundCache` turns repeated (function, block) bound
-        computations across the batch into dictionary hits, and queries
-        sharing one canonical :func:`query_cache_key` are planned at most
-        once per batch — the plan is hoisted lazily on the first
-        result-cache miss and reused for every later repeat that misses,
-        so a fully cached batch plans nothing and an uncached batch plans
-        each distinct logical query exactly once.
+        Results come back in submission order.  Cached queries are served
+        from the result cache without planning (a fully cached batch plans
+        nothing); batch repeats of one canonical :func:`query_cache_key`
+        execute once and hit the cache afterwards, so each distinct logical
+        query is planned exactly once per batch.  The remaining misses are
+        grouped by ``(chosen backend, canonical ranking-function key)`` and
+        each group of two or more is handed to the backend's
+        :meth:`~repro.engine.registry.Backend.execute_batch` — fusion-aware
+        backends (grid and signature cubes) answer the whole group with one
+        frontier sweep / tree traversal, scoring shared tuples once;
+        everything else falls back to the per-query loop.  Answers are
+        bit-identical to looping :meth:`execute` either way.
+
+        Every batch-executed result records ``fused_group_size``, the
+        batch's ``plans_reused``, and its solo-equivalent
+        ``tuples_evaluated`` in ``extra``; the ``tuples_evaluated`` *field*
+        of fused results is the query's attributed share of the shared
+        work, so summing a batch never double-counts a tuple the sweep
+        scored once.
         """
         queries = list(queries)
-        keys = [query_cache_key(query) for query in queries]
-        repeats: Dict[tuple, int] = {}
-        for key in keys:
-            if key is not None:
-                repeats[key] = repeats.get(key, 0) + 1
-        plans: Dict[tuple, QueryPlan] = {}
+        if not queries:
+            return []
+        if self._watched_mutated():
+            self.result_cache.invalidate()
+            self.statistics.invalidate()
+        results, units, unit_index, followers = partition_batch(
+            queries, self._cache_scope, self.result_cache)
 
-        def factory_for(key, query):
-            def make() -> QueryPlan:
-                plan = plans.get(key)
-                if plan is None:
-                    plans[key] = plan = self.planner.plan(query)
+        plans = [self.planner.plan(query) for _, query, _ in units]
+        groups: Dict[tuple, List[int]] = {}
+        for position, (_, query, _) in enumerate(units):
+            if isinstance(query, TopKQuery):
+                group_key = (plans[position].backend,
+                             function_fuse_key(query.function))
+            else:
+                group_key = ("ungrouped", position)
+            groups.setdefault(group_key, []).append(position)
+
+        for members in groups.values():
+            backend = self.registry.get(plans[members[0]].backend)
+            if len(members) > 1:
+                group_results = backend.execute_batch(
+                    [units[position][1] for position in members])
+                if backend.supports_fusion:
+                    self.fused_groups += 1
+                    self.fused_queries += len(members)
+                    fused_size = len(members)
                 else:
-                    self.plans_reused += 1
-                return plan
-            return make
+                    # The default execute_batch is a per-query loop: no work
+                    # was shared, so do not report a fused group.
+                    fused_size = 1
+            else:
+                group_results = [backend.run(units[members[0]][1])]
+                fused_size = 1
+            for position, result in zip(members, group_results):
+                i, _, key = units[position]
+                self._finish_batch_result(result, plans[position], key,
+                                          fused_size)
+                results[i] = result
 
-        results = []
-        for query, key in zip(queries, keys):
-            factory = (factory_for(key, query)
-                       if key is not None and repeats[key] > 1 else None)
-            results.append(self.execute(query, _plan_factory=factory,
-                                        _key=key))
+        batch_plans_reused = 0
+        for i, query, key in followers:
+            hit = self.result_cache.lookup(key)
+            if hit is None:
+                # A cache that refuses to retain results (or evicted the
+                # entry already): mirror the looped path — reuse the
+                # hoisted plan and re-execute.
+                self.plans_reused += 1
+                batch_plans_reused += 1
+                plan = plans[unit_index[key]]
+                hit = self.registry.get(plan.backend).run(query)
+                self._finish_batch_result(hit, plan, key, 1)
+            results[i] = hit
+
+        for result in results:
+            result.extra["plans_reused"] = float(batch_plans_reused)
         return results
+
+    def _finish_batch_result(self, result, plan: QueryPlan,
+                             key: Optional[tuple], group_size: int) -> None:
+        """Annotate and cache one batch-executed result."""
+        result.extra["backend"] = plan.backend
+        result.extra["plan"] = plan.describe()
+        result.extra["fused_group_size"] = float(group_size)
+        # Fused sweeps record the solo-equivalent count themselves; for
+        # per-query execution the field already is that count (skyline
+        # results carry no tuple counter).
+        result.extra.setdefault("tuples_evaluated",
+                                float(getattr(result, "tuples_evaluated", 0)))
+        if key is not None:
+            self.result_cache.store(key, result)
 
     def statistics_for(self, relation: Relation) -> RelationStatistics:
         """The cached :class:`RelationStatistics` profile of ``relation``.
@@ -178,18 +230,24 @@ class Executor:
             "misses": float(self.bound_cache.misses),
             "hit_rate": self.bound_cache.hit_rate,
             "plans_reused": float(self.plans_reused),
+            "fused_groups": float(self.fused_groups),
+            "fused_queries": float(self.fused_queries),
         }
         stats.update(self.result_cache.stats())
         return stats
 
-    def invalidate_results(self) -> None:
+    def invalidate_results(self, row: Optional[Mapping[str, object]] = None,
+                           ) -> None:
         """Drop cached results and statistics; call after the data changed.
 
         The shard manager invokes this on every ``insert``/``reshard`` so
         neither a stale answer nor a stale relation profile can be served
-        after a mutation.
+        after a mutation.  When the mutation is a single inserted ``row``,
+        passing it narrows the result-cache drop to the entries the row can
+        affect (see :meth:`ResultCache.invalidate`); statistics are always
+        re-profiled — even a non-matching row changes the relation's count.
         """
-        self.result_cache.invalidate()
+        self.result_cache.invalidate(row=row)
         self.statistics.invalidate()
 
     def watch_relation(self, relation: Relation) -> None:

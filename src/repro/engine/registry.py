@@ -49,6 +49,10 @@ class Backend(ABC):
     #: The cost-based planner profiles it; ``None`` (multi-relation joins,
     #: custom adapters) makes the planner fall back to the static order.
     relation = None
+    #: Whether :meth:`execute_batch` actually fuses shared work across a
+    #: same-function group (one frontier sweep / one tree traversal) rather
+    #: than falling back to the per-query loop.
+    supports_fusion: bool = False
 
     @abstractmethod
     def supports(self, query) -> bool:
@@ -57,6 +61,17 @@ class Backend(ABC):
     @abstractmethod
     def run(self, query):
         """Execute ``query`` and return its result object."""
+
+    def execute_batch(self, queries) -> List:
+        """Answer a group of queries sharing one ranking function (by value).
+
+        The executor groups each batch by (backend, canonical function key)
+        after planning and hands every group here.  Backends that can share
+        work across the group override this with a fused implementation and
+        set :attr:`supports_fusion`; this default is the per-query fallback,
+        so non-batchable backends keep exact per-query semantics.
+        """
+        return [self.run(query) for query in queries]
 
     def plan_details(self, query) -> Dict[str, object]:
         """Backend-specific plan properties (e.g. covering cuboids)."""

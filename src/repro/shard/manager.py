@@ -116,8 +116,15 @@ class ShardManager:
     # ------------------------------------------------------------------
     # invalidation plumbing
     # ------------------------------------------------------------------
-    def add_invalidation_hook(self, hook: Callable[[], None]) -> None:
+    def add_invalidation_hook(
+            self, hook: Callable[[Optional[Mapping[str, object]]], None],
+            ) -> None:
         """Register a callback fired whenever managed data changes.
+
+        Hooks receive one argument: the inserted row when the mutation was
+        a single :meth:`insert` (so layered caches can invalidate
+        predicate-aware, dropping only the entries the row can affect), or
+        ``None`` for a blanket change (``reshard``, explicit flush).
 
         Bound methods are held via :class:`weakref.WeakMethod`, so a
         discarded caller (e.g. a per-request scatter/gather executor) is
@@ -129,9 +136,9 @@ class ShardManager:
         except TypeError:
             self._invalidation_hooks.append(lambda: hook)
 
-    def _invalidate(self) -> None:
+    def _invalidate(self, row: Optional[Mapping[str, object]] = None) -> None:
         for index, executor in self._executors.items():
-            executor.invalidate_results()
+            executor.invalidate_results(row=row)
             # invalidate_results also drops the executor's statistics
             # catalog; the surviving executors belong to shards the
             # mutation did not touch (the owner's stack was popped), so
@@ -145,7 +152,7 @@ class ShardManager:
         for ref in self._invalidation_hooks:
             hook = ref()
             if hook is not None:
-                hook()
+                hook(row)
                 alive.append(ref)
         self._invalidation_hooks = alive
 
@@ -180,7 +187,7 @@ class ShardManager:
         else:
             shard.stats.add_row(row)
         self._executors.pop(owner, None)
-        self._invalidate()
+        self._invalidate(row=row)
         return global_tid
 
     def reshard(self, policy: ShardingPolicy) -> None:

@@ -36,7 +36,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.engine.cache import ResultCache, new_cache_scope, query_cache_key
+from repro.engine.cache import (
+    ResultCache,
+    function_fuse_key,
+    new_cache_scope,
+    partition_batch,
+    query_cache_key,
+)
 from repro.engine.cost import CostModel
 from repro.engine.plan import (
     KIND_SKYLINE,
@@ -84,7 +90,26 @@ class ScatterGatherExecutor:
         self._cache_scope = new_cache_scope()
         self._relation_version = manager.relation.version
         self._pool: Optional[ThreadPoolExecutor] = None
-        manager.add_invalidation_hook(self.result_cache.invalidate)
+        manager.add_invalidation_hook(self._on_mutation)
+
+    def _on_mutation(self, row=None) -> None:
+        """Manager-fired invalidation: predicate-aware drop + version sync.
+
+        A manager-routed ``insert`` hands the row through, so only cached
+        answers the row can affect are dropped (see
+        :meth:`~repro.engine.cache.ResultCache.invalidate`); blanket
+        changes (``reshard``, explicit flushes) pass ``None`` and clear
+        everything.  Recording the base relation's version here keeps
+        :meth:`_check_base_relation` from re-clearing the survivors — that
+        path now only fires for mutations that bypassed the manager.
+        """
+        total = sum(s.relation.num_tuples for s in self.manager.shards)
+        if total == self.manager.relation.num_tuples:
+            # Only sync while the shards still cover the base relation; a
+            # desync (an out-of-band append followed by a routed insert)
+            # must keep failing loudly in _check_base_relation.
+            self._relation_version = self.manager.relation.version
+        self.result_cache.invalidate(row=row)
 
     def _check_base_relation(self) -> None:
         """Detect base-relation mutation and refuse to serve from stale shards.
@@ -224,6 +249,10 @@ class ScatterGatherExecutor:
             hit = self.result_cache.lookup(key)
             if hit is not None:
                 return hit
+        return self._execute_miss(query, key)
+
+    def _execute_miss(self, query, key):
+        """The scatter/gather body of :meth:`execute` after a cache miss."""
         start = time.perf_counter()
         consulted, pruned = self._scatter_set(query)
         kind = kind_of(query)
@@ -259,8 +288,187 @@ class ScatterGatherExecutor:
         return result
 
     def execute_many(self, queries: Iterable) -> List:
-        """Execute a batch of queries, in submission order."""
-        return [self.execute(query) for query in queries]
+        """Execute a batch of queries with one scatter leg per shard.
+
+        Results come back in submission order and bit-identical to looping
+        :meth:`execute`.  Cached queries are served first; the remaining
+        top-k misses are grouped by canonical ranking-function key and each
+        group scatters as a unit: every shard consulted by at least one
+        group member receives *one* leg carrying exactly the members whose
+        statistics did not prune it (one thread-pool task per shard per
+        batch when parallel), the shard runs its own fused
+        ``execute_many``, and answers are gathered per query.  Sequential
+        scatters stay cost-ordered and bounded like the single-query path,
+        with one difference: legs follow one *group-level* cost order (see
+        :meth:`_group_leg_order`) rather than each member's solo order, so
+        a member's ``shards_skipped`` / work counters may differ from its
+        solo run even though the k-th-score skip bound is applied per query
+        and answers stay bit-identical.  Gathered results record
+        ``fused_group_size``, the legs' aggregated ``plans_reused``, and
+        the solo-equivalent ``tuples_evaluated`` in ``extra``.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        self._check_base_relation()
+        results, units, _, followers = partition_batch(
+            queries, self._cache_scope, self.result_cache)
+
+        groups: Dict[tuple, List[int]] = {}
+        singles: List[int] = []
+        for position, (_, query, _) in enumerate(units):
+            if isinstance(query, TopKQuery):
+                groups.setdefault(function_fuse_key(query.function),
+                                  []).append(position)
+            else:
+                singles.append(position)
+        for members in groups.values():
+            if len(members) == 1:
+                singles.append(members[0])
+                continue
+            group_results = self._execute_group(
+                [units[position] for position in members])
+            for position, result in zip(members, group_results):
+                results[units[position][0]] = result
+        for position in sorted(singles):
+            i, query, key = units[position]
+            results[i] = self._execute_miss(query, key)
+        for i, query, key in followers:
+            hit = self.result_cache.lookup(key)
+            results[i] = hit if hit is not None else self._execute_miss(query,
+                                                                        key)
+        return results
+
+    def _execute_group(self, group: List[Tuple[int, object, Optional[tuple]]],
+                       ) -> List[QueryResult]:
+        """Scatter one same-function top-k group with one leg per shard.
+
+        Per-query prune decisions are taken exactly as in :meth:`execute`;
+        a shard's leg carries the union of group members that consulted it.
+        Sequential scatters walk the legs in cost order (lowest attainable
+        score floor over the group first) and apply the k-th-score skip
+        bound *per query*: a member whose gathered k-th score strictly
+        beats a shard's floor drops out of that leg (recorded in its
+        ``shards_skipped``), and a leg every member dropped never runs.
+        """
+        start = time.perf_counter()
+        group_queries = [query for _, query, _ in group]
+        consulted_sets: List[Dict[int, Shard]] = []
+        pruned_lists: List[List[Tuple[int, str]]] = []
+        for query in group_queries:
+            consulted, pruned = self._scatter_set(query)
+            consulted_sets.append({shard.index: shard for shard in consulted})
+            pruned_lists.append(pruned)
+        involved = sorted({index for by_index in consulted_sets
+                           for index in by_index})
+        shard_of = {shard.index: shard
+                    for by_index in consulted_sets
+                    for shard in by_index.values()}
+        order = self._group_leg_order(group_queries,
+                                      [shard_of[index] for index in involved])
+
+        gathered: List[List[float]] = [[] for _ in group]
+        skipped: List[List[Tuple[int, str]]] = [[] for _ in group]
+        executed: List[List[Tuple[Shard, QueryResult]]] = [[] for _ in group]
+        sequential = not self.parallel
+        if sequential:
+            for shard in order:
+                riders = []
+                for qi, query in enumerate(group_queries):
+                    if shard.index not in consulted_sets[qi]:
+                        continue
+                    reason = self._leg_skip_reason(shard, query, gathered[qi])
+                    if reason is not None:
+                        skipped[qi].append((shard.index, reason))
+                        continue
+                    riders.append(qi)
+                if not riders:
+                    continue
+                leg_results = self.manager.executor_for(shard).execute_many(
+                    [group_queries[qi] for qi in riders])
+                for qi, result in zip(riders, leg_results):
+                    executed[qi].append((shard, result))
+                    self._fold_gathered(gathered[qi], result,
+                                        group_queries[qi].k)
+        else:
+            legs = []
+            for shard in order:
+                riders = [qi for qi in range(len(group_queries))
+                          if shard.index in consulted_sets[qi]]
+                if riders:
+                    legs.append((shard, riders))
+            if legs:
+                if self._pool is None and len(legs) > 1:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers or self.manager.num_shards)
+
+                def run_leg(leg):
+                    shard, riders = leg
+                    return self.manager.executor_for(shard).execute_many(
+                        [group_queries[qi] for qi in riders])
+
+                if self._pool is not None and len(legs) > 1:
+                    leg_outputs = list(self._pool.map(run_leg, legs))
+                else:
+                    leg_outputs = [run_leg(leg) for leg in legs]
+                for (shard, riders), leg_results in zip(legs, leg_outputs):
+                    for qi, result in zip(riders, leg_results):
+                        executed[qi].append((shard, result))
+
+        group_size = float(len(group))
+        out: List[QueryResult] = []
+        for qi, (i, query, key) in enumerate(group):
+            legs_run = sorted(executed[qi], key=lambda pair: pair[0].index)
+            consulted = [shard for shard, _ in legs_run]
+            shard_results = [result for _, result in legs_run]
+            result = self._gather_topk(query, consulted, shard_results)
+            result.elapsed_seconds = time.perf_counter() - start
+            shard_backends = {
+                shard.index: str(res.extra.get("backend", "?"))
+                for shard, res in legs_run
+            }
+            planned_order = [shard for shard in order
+                             if shard.index in consulted_sets[qi]]
+            result.extra["backend"] = "scatter-gather"
+            result.extra.update(self._scatter_details(
+                query, consulted, pruned_lists[qi], shard_backends,
+                tuple(skipped[qi]), order=planned_order))
+            result.extra["plan"] = (
+                f"scatter to {len(consulted)}/{self.manager.num_shards} shards "
+                f"[policy={result.extra['policy']} "
+                f"pruned={result.extra['shards_pruned']} "
+                f"skipped={result.extra['shards_skipped']} "
+                f"backends={result.extra['shard_backends']}]")
+            result.extra["fused_group_size"] = group_size
+            result.extra["plans_reused"] = sum(
+                float(res.extra.get("plans_reused", 0.0))
+                for res in shard_results)
+            result.extra["tuples_evaluated"] = sum(
+                float(res.extra.get("tuples_evaluated",
+                                    res.tuples_evaluated))
+                for res in shard_results)
+            if key is not None:
+                self.result_cache.store(key, result)
+            out.append(result)
+        return out
+
+    def _group_leg_order(self, group_queries: List, shards: List[Shard],
+                         ) -> List[Shard]:
+        """Cost order of a fused group's legs: most promising member first.
+
+        A leg's promise is its best promise for *any* member (lowest score
+        floor, then fewest expected matches), so the leg that can tighten
+        some member's k-th score fastest runs first; the shard index keeps
+        the order total and deterministic.
+        """
+        def leg_key(shard: Shard):
+            keys = [self.cost_model.scatter_key(query, shard.stats)
+                    for query in group_queries]
+            return (min(key[0] for key in keys),
+                    min(key[1] for key in keys),
+                    shard.index)
+
+        return sorted(shards, key=leg_key)
 
     def _run_shards(self, consulted: List[Shard], query) -> List:
         """Per-shard results aligned with ``consulted``.
@@ -278,6 +486,34 @@ class ScatterGatherExecutor:
                 consulted))
         return [self.manager.executor_for(shard).execute(query)
                 for shard in consulted]
+
+    def _leg_skip_reason(self, shard: Shard, query: TopKQuery,
+                         gathered: List[float]) -> Optional[str]:
+        """Why ``shard`` can be skipped for ``query``, or ``None`` to run it.
+
+        ``gathered`` holds the query's k best scores seen so far, sorted.
+        A shard whose ranking-range score floor *strictly* exceeds the
+        gathered k-th score cannot contribute: every tuple it holds scores
+        at least the floor, so none can enter the top-k or tie its
+        boundary.  Shared by the single-query bounded scatter and the
+        fused-group legs so both paths skip (and report) identically.
+        """
+        if len(gathered) < query.k:
+            return None
+        floor = shard.stats.score_floor(query.function)
+        kth = gathered[-1]
+        if floor > kth:
+            return f"score floor {floor:.6g} > k-th score {kth:.6g}"
+        return None
+
+    @staticmethod
+    def _fold_gathered(gathered: List[float], result: QueryResult,
+                       k: int) -> None:
+        """Fold one leg's scores into the query's sorted k-best prefix."""
+        if result.scores:
+            gathered.extend(float(score) for score in result.scores)
+            gathered.sort()
+            del gathered[k:]
 
     def _run_shards_bounded(self, ordered: List[Shard], query: TopKQuery,
                             ) -> Tuple[List[Shard], List[QueryResult],
@@ -303,20 +539,13 @@ class ScatterGatherExecutor:
         executed: List[Tuple[Shard, QueryResult]] = []
         skipped: List[Tuple[int, str]] = []
         for shard in ordered:
-            if len(gathered) >= query.k:
-                floor = shard.stats.score_floor(query.function)
-                kth = gathered[-1]
-                if floor > kth:
-                    skipped.append((
-                        shard.index,
-                        f"score floor {floor:.6g} > k-th score {kth:.6g}"))
-                    continue
+            reason = self._leg_skip_reason(shard, query, gathered)
+            if reason is not None:
+                skipped.append((shard.index, reason))
+                continue
             result = self.manager.executor_for(shard).execute(query)
             executed.append((shard, result))
-            if result.scores:
-                gathered.extend(float(score) for score in result.scores)
-                gathered.sort()
-                del gathered[query.k:]
+            self._fold_gathered(gathered, result, query.k)
         executed.sort(key=lambda pair: pair[0].index)
         return ([shard for shard, _ in executed],
                 [result for _, result in executed],

@@ -223,7 +223,7 @@ class TestRegistry:
 
 
 class TestBoundCacheAndBatch:
-    def test_execute_many_shares_bounds(self, relation):
+    def test_execute_many_fuses_shared_function_queries(self, relation):
         executor = Executor.for_relation(relation, block_size=200,
                                          rtree_max_entries=16)
         function = LinearFunction(["N1", "N2"], [1.0, 2.0])
@@ -232,8 +232,14 @@ class TestBoundCacheAndBatch:
         results = executor.execute_many(queries)
         assert len(results) == len(queries)
         stats = executor.cache_stats()
-        assert stats["hits"] > 0  # later queries reuse the same block bounds
+        # The shared-function group runs as one fused frontier sweep, so
+        # each block's bound is computed once for the whole batch instead
+        # of once per query (the pre-fusion batch path shared them through
+        # bound-cache hits).
+        assert stats["fused_groups"] == 1.0
+        assert stats["fused_queries"] == float(len(queries))
         for query, batched in zip(queries, results):
+            assert batched.extra["fused_group_size"] == float(len(queries))
             alone = executor.execute(query)
             assert alone.tids == batched.tids
             assert alone.scores == batched.scores

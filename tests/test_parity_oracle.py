@@ -219,6 +219,66 @@ def test_skyline_oracle_parity(universe, spec_index):
             assert tuple(sorted(gathered.tids)) == oracle_tids, count
 
 
+def _uncacheable_function(relation):
+    """An expression-tree function: fusable by object identity, uncacheable.
+
+    ``query_cache_key`` has no canonical key for expression trees, so these
+    queries bypass the result cache entirely — exactly the mix the fused
+    batch path must keep bit-identical alongside cacheable queries.
+    """
+    from repro.engine.cache import query_cache_key
+    from repro.functions import Add, ExpressionFunction, Mul, Var
+
+    dims = relation.ranking_dims[:2]
+    expr = Add(Mul(Var(dims[0]), Var(dims[0])), Var(dims[1]))
+    function = ExpressionFunction(expr, dims=dims)
+    probe = TopKQuery(Predicate.of(), function, 1)
+    assert query_cache_key(probe) is None
+    return function
+
+
+@pytest.mark.parametrize("spec_index", range(len(SPECS)))
+def test_fused_batch_matches_loop_and_oracle(universe, spec_index):
+    """The fused ``execute_many`` path is bit-identical to loop + oracle.
+
+    The batch mixes functions, predicates, and k values (so the engine
+    forms several fused groups plus singles), includes repeats of one
+    query, and appends uncacheable expression-function queries sharing one
+    function object — covering cacheable/uncacheable mixing.  The same
+    batch runs through the engine front door and every shard count.
+    """
+    relation, engine, sharded, queries = universe[spec_index]
+    batch = [query for query in queries if isinstance(query, TopKQuery)]
+    uncacheable = _uncacheable_function(relation)
+    first_dim = relation.selection_dims[0]
+    value = int(relation.selection_column(first_dim)[0])
+    batch = batch + [
+        batch[0],  # a batch repeat of a cacheable query
+        TopKQuery(Predicate.of(), uncacheable, 5),
+        TopKQuery(Predicate.of({first_dim: value}), uncacheable, 3),
+    ]
+    oracle = [brute_force_topk(relation, query) for query in batch]
+
+    engine.invalidate_results()
+    fused = engine.execute_many(batch)
+    for query, result, (tids, scores) in zip(batch, fused, oracle):
+        assert result.tids == tids, engine.explain(query)
+        assert result.scores == scores, engine.explain(query)
+        assert "plans_reused" in result.extra
+        assert result.extra.get("fused_group_size", 0.0) >= 1.0
+    # The two expression-function queries share one function object, so
+    # whenever the planner routes them to the same backend they form a
+    # fused group; random same-function collisions may add more.  (Group
+    # sizes > 1 are pinned deterministically in tests/test_batch_fusion.py.)
+
+    for count, scatter in sharded.items():
+        scatter.manager.invalidate_caches()
+        gathered = scatter.execute_many(batch)
+        for query, result, (tids, scores) in zip(batch, gathered, oracle):
+            assert result.tids == tids, (count, scatter.explain(query))
+            assert result.scores == scores, count
+
+
 @pytest.mark.parametrize("spec_index", range(len(SPECS)))
 def test_every_case_was_planned(universe, spec_index):
     """Every generated query routes through a real (explainable) plan."""
