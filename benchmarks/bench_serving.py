@@ -1,0 +1,143 @@
+"""Concurrent clients through the async service vs one-request-at-a-time.
+
+Drives a repeat-free workload of top-k queries sharing two ranking
+functions (see ``distinct_serving_queries`` — no logical repeats, so the
+result cache cannot blur the comparison) through the engine twice:
+
+* **serial baseline** — every query executed alone, in submission order,
+  the way a service without a request queue would run them;
+* **served** — the same queries issued by concurrent clients into a
+  :class:`~repro.serve.QueryService`, whose adaptive micro-batcher drains
+  them into fused ``execute_many`` ticks.
+
+Both paths must return bit-identical answers; the gates are fusion and
+work:
+
+* the service's micro-batcher actually fused concurrent same-function
+  clients (``fused_queries > 0``), and
+* served execution evaluates **at most half** of the serial path's
+  aggregate tuples.
+
+Run directly (``--quick`` for the CI smoke configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import time
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine import Executor  # noqa: E402
+from repro.serve import QueryService, ServiceConfig  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    SyntheticSpec,
+    distinct_serving_queries,
+    generate_relation,
+)
+
+
+def build_engine(num_tuples: int):
+    relation = generate_relation(SyntheticSpec(
+        num_tuples=num_tuples, num_selection_dims=3, num_ranking_dims=2,
+        cardinality=8, seed=23))
+    engine = Executor.for_relation(relation, block_size=200,
+                                   with_signature=False, with_skyline=False)
+    return relation, engine
+
+
+def split_clients(queries: List, num_clients: int) -> List[List]:
+    """Deal the workload round-robin into per-client streams."""
+    streams: List[List] = [[] for _ in range(num_clients)]
+    for i, query in enumerate(queries):
+        streams[i % num_clients].append(query)
+    return streams
+
+
+async def run_service(engine, streams: List[List], linger: float):
+    config = ServiceConfig(
+        max_batch_size=sum(len(stream) for stream in streams),
+        max_linger=linger)
+    service = QueryService(engine, config)
+    async with service:
+        per_stream = await asyncio.gather(
+            *(service.submit_many(stream) for stream in streams))
+        snapshot = service.stats_snapshot()
+    return per_stream, snapshot
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--tuples", type=int, default=None,
+                        help="relation size override (test-suite smoke)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client streams (default: 8)")
+    args = parser.parse_args(argv)
+
+    num_tuples = args.tuples or (6000 if args.quick else 20000)
+    relation, serial_engine = build_engine(num_tuples)
+    _, served_engine = build_engine(num_tuples)
+    queries = distinct_serving_queries(relation)
+    streams = split_clients(queries, args.clients)
+
+    serial_start = time.perf_counter()
+    serial = [serial_engine.execute(query) for query in queries]
+    serial_seconds = time.perf_counter() - serial_start
+
+    served_start = time.perf_counter()
+    per_stream, snapshot = asyncio.run(
+        run_service(served_engine, streams, linger=0.25 if args.quick else 0.1))
+    served_seconds = time.perf_counter() - served_start
+    served = {id(query): result
+              for stream, results in zip(streams, per_stream)
+              for query, result in zip(stream, results)}
+
+    failures: List[str] = []
+    serial_tuples = 0
+    served_tuples = 0
+    for i, query in enumerate(queries):
+        alone = serial[i]
+        batched = served[id(query)]
+        if alone.tids != batched.tids or alone.scores != batched.scores:
+            failures.append(f"query {i}: served answer differs from serial")
+        serial_tuples += alone.tuples_evaluated
+        served_tuples += batched.tuples_evaluated
+
+    print(f"# serving micro-batch fusion ({'quick' if args.quick else 'full'} "
+          f"mode)")
+    print(f"tuples={num_tuples} queries={len(queries)} "
+          f"clients={len(streams)}")
+    print(f"serial:  {serial_tuples:>8} tuples evaluated "
+          f"in {serial_seconds:.3f}s")
+    print(f"served:  {served_tuples:>8} tuples evaluated "
+          f"in {served_seconds:.3f}s "
+          f"(batches={snapshot['batches']:.0f}, "
+          f"mean_batch_size={snapshot['mean_batch_size']:.1f})")
+    print(f"fused_queries={snapshot['fused_queries']:.0f} "
+          f"fused_groups={snapshot['fused_groups']:.0f} "
+          f"fusion_rate={snapshot['fusion_rate']:.2f} "
+          f"queue_wait_p50={snapshot['queue_wait_p50'] * 1000:.2f}ms")
+
+    if snapshot["fused_queries"] <= 0:
+        failures.append("the micro-batcher fused no concurrent queries "
+                        "(fused_queries == 0)")
+    if served_tuples * 2 > serial_tuples:
+        failures.append(
+            f"served execution evaluated {served_tuples} tuples in "
+            f"aggregate, more than half of the serial path's "
+            f"{serial_tuples}")
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

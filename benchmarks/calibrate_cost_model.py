@@ -48,9 +48,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="smaller relation for a fast calibration pass")
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repetitions per probe (minimum is kept)")
+    parser.add_argument("--tuples", type=int, default=None,
+                        help="relation size override (the test suite smokes "
+                             "the tool at tiny N; measured constants are "
+                             "only meaningful at the default sizes)")
     args = parser.parse_args(argv)
 
-    num_tuples = 8000 if args.quick else 40000
+    num_tuples = args.tuples or (8000 if args.quick else 40000)
     relation = generate_relation(SyntheticSpec(
         num_tuples=num_tuples, num_selection_dims=3, num_ranking_dims=2,
         cardinality=10, seed=31))

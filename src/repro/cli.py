@@ -12,6 +12,11 @@ Commands
     through the scatter/gather engine over N range shards instead;
     ``--planner static`` swaps the statistics-driven cost-based backend
     selection for the legacy (priority, name) order.
+``serve [--shards N] [--clients C] [--queries Q] [--linger MS]``
+    Start an async :class:`~repro.serve.QueryService` over the engine and
+    drive C concurrent clients of Q queries each through it, then print
+    the serving statistics (throughput, latency percentiles, batch and
+    fusion rates) — a demo of the request queue + adaptive micro-batcher.
 """
 
 from __future__ import annotations
@@ -102,6 +107,61 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.engine import Executor
+    from repro.serve import QueryService, ServiceConfig
+    from repro.workloads import (
+        SyntheticSpec,
+        generate_relation,
+        make_sharded_engine,
+        serving_client_queries,
+    )
+
+    relation = generate_relation(SyntheticSpec(
+        num_tuples=5000, num_selection_dims=3, num_ranking_dims=2,
+        cardinality=10))
+    if args.shards > 1:
+        manager, engine = make_sharded_engine(
+            relation, args.shards, range_dim="A1", block_size=200,
+            with_signature=False, with_skyline=False)
+        print(f"engine: scatter/gather over {args.shards} range shards on A1")
+    else:
+        manager = None
+        engine = Executor.for_relation(relation, block_size=200,
+                                       with_signature=False,
+                                       with_skyline=False)
+        print("engine: unsharded")
+    clients = serving_client_queries(relation, num_clients=args.clients,
+                                     per_client=args.queries)
+    config = ServiceConfig(max_batch_size=64,
+                           max_linger=args.linger / 1000.0)
+
+    async def run() -> dict:
+        service = QueryService(engine, config, manager=manager,
+                               relation=relation)
+        async with service:
+            await asyncio.gather(*(service.submit_many(stream)
+                                   for stream in clients))
+            return service.stats_snapshot()
+
+    snap = asyncio.run(run())
+    total = args.clients * args.queries
+    print(f"served {total} queries from {args.clients} concurrent clients")
+    print(f"throughput: {snap['throughput_qps']:.0f} q/s, "
+          f"latency p50/p99: {snap['latency_p50'] * 1000:.2f}/"
+          f"{snap['latency_p99'] * 1000:.2f} ms, "
+          f"queue wait p50: {snap['queue_wait_p50'] * 1000:.2f} ms")
+    print(f"batches: {snap['batches']:.0f} "
+          f"(mean size {snap['mean_batch_size']:.1f}), "
+          f"fused queries: {snap['fused_queries']:.0f} "
+          f"(fusion rate {snap['fusion_rate']:.2f})")
+    print(f"result cache: {snap['result_hits']:.0f} hits / "
+          f"{snap['result_misses']:.0f} misses")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -126,6 +186,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "estimates (default) or the static (priority, "
                            "name) order")
     demo.set_defaults(handler=_cmd_demo)
+
+    serve = sub.add_parser(
+        "serve", help="drive concurrent clients through the async service")
+    serve.add_argument("--shards", type=int, default=3,
+                       help="scatter/gather over N range shards "
+                            "(<=1: unsharded; default: 3)")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="number of concurrent clients (default: 8)")
+    serve.add_argument("--queries", type=int, default=6,
+                       help="queries per client (default: 6)")
+    serve.add_argument("--linger", type=float, default=5.0,
+                       help="micro-batcher max linger in milliseconds "
+                            "(default: 5)")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import threading
 
 from collections import OrderedDict
 from typing import Mapping, Optional, Tuple
@@ -58,23 +59,32 @@ class LowerBoundCache:
         # with their entry.
         self._bounds: "OrderedDict[Tuple[int, int, int], Tuple[float, object, object]]" \
             = OrderedDict()
+        # Concurrent engine calls (the async serving layer dispatches
+        # batches on worker threads) share this cache; the LRU OrderedDict
+        # is not safe to mutate concurrently, so every access takes the
+        # lock.  Bound derivation itself runs outside it — two threads may
+        # rarely derive the same bound twice, which costs time, never
+        # correctness.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def lower_bound(self, grid, function, bid: int) -> float:
         """Lower bound of ``function`` over block ``bid`` of ``grid``."""
         key = (id(grid), id(function), int(bid))
-        cached = self._bounds.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._bounds.move_to_end(key)
-            return cached[0]
-        self.misses += 1
+        with self._lock:
+            cached = self._bounds.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._bounds.move_to_end(key)
+                return cached[0]
+            self.misses += 1
         bound = float(function.lower_bound(grid.block_box(bid)))
-        self._bounds[key] = (bound, grid, function)
-        if self.max_entries > 0:
-            while len(self._bounds) > self.max_entries:
-                self._bounds.popitem(last=False)
+        with self._lock:
+            self._bounds[key] = (bound, grid, function)
+            if self.max_entries > 0:
+                while len(self._bounds) > self.max_entries:
+                    self._bounds.popitem(last=False)
         return bound
 
     @property
@@ -85,7 +95,8 @@ class LowerBoundCache:
 
     def clear(self) -> None:
         """Drop every cached bound and release the pinned objects."""
-        self._bounds.clear()
+        with self._lock:
+            self._bounds.clear()
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters without dropping cached bounds."""
@@ -220,27 +231,33 @@ class ResultCache:
     def __init__(self, max_entries: int = 4096) -> None:
         self.max_entries = max_entries
         self._results: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
+        # Shared by concurrent serving-layer batches and the (serialized)
+        # write path's invalidation hooks; the lock keeps the LRU dict and
+        # its counters coherent across threads.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
     def get(self, key: Tuple[object, ...]):
         """Return the cached result for ``key`` or ``None``, counting the lookup."""
-        cached = self._results.get(key)
-        if cached is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._results.move_to_end(key)
-        return cached
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._results.move_to_end(key)
+            return cached
 
     def put(self, key: Tuple[object, ...], result) -> None:
         """Store ``result`` under ``key``, evicting the LRU entry when full."""
-        self._results[key] = result
-        self._results.move_to_end(key)
-        if self.max_entries > 0:
-            while len(self._results) > self.max_entries:
-                self._results.popitem(last=False)
+        with self._lock:
+            self._results[key] = result
+            self._results.move_to_end(key)
+            if self.max_entries > 0:
+                while len(self._results) > self.max_entries:
+                    self._results.popitem(last=False)
 
     def lookup(self, key: Tuple[object, ...]):
         """Cache-aware read: a marked copy of the hit, or ``None`` on miss.
@@ -273,14 +290,15 @@ class ResultCache:
         be recovered are dropped conservatively, so partial invalidation
         can narrow the blast radius but never serve a stale answer.
         """
-        self.invalidations += 1
-        if row is None:
-            self._results.clear()
-            return
-        survivors = OrderedDict(
-            (key, result) for key, result in self._results.items()
-            if self._row_excluded(key, row))
-        self._results = survivors
+        with self._lock:
+            self.invalidations += 1
+            if row is None:
+                self._results.clear()
+                return
+            survivors = OrderedDict(
+                (key, result) for key, result in self._results.items()
+                if self._row_excluded(key, row))
+            self._results = survivors
 
     @staticmethod
     def _row_excluded(key: Tuple[object, ...],
@@ -308,13 +326,14 @@ class ResultCache:
 
     def stats(self) -> "OrderedDict[str, float]":
         """The ``result_*`` statistics block shared by every front door."""
-        return OrderedDict([
-            ("result_entries", float(len(self))),
-            ("result_hits", float(self.hits)),
-            ("result_misses", float(self.misses)),
-            ("result_hit_rate", self.hit_rate),
-            ("result_invalidations", float(self.invalidations)),
-        ])
+        with self._lock:
+            return OrderedDict([
+                ("result_entries", float(len(self._results))),
+                ("result_hits", float(self.hits)),
+                ("result_misses", float(self.misses)),
+                ("result_hit_rate", self.hit_rate),
+                ("result_invalidations", float(self.invalidations)),
+            ])
 
     def __len__(self) -> int:
         return len(self._results)

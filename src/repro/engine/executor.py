@@ -90,6 +90,27 @@ class Executor:
         """One-line explanation of how ``query`` would be routed."""
         return self.planner.explain(query)
 
+    def plan_backends(self, queries: Iterable) -> set:
+        """Distinct backend names the planner routes ``queries`` to.
+
+        The async serving layer keys its per-backend concurrency
+        semaphores on these names before dispatching a batch, so it asks
+        "what could this batch occupy" — duplicates of one canonical query
+        key are planned once, but cache hits are *not* excluded (a hit
+        costs the backend nothing, yet the conservative answer keeps the
+        gate sound if the entry is evicted between routing and execution).
+        """
+        names = set()
+        seen = set()
+        for query in queries:
+            key = query_cache_key(query)
+            if key is not None:
+                if key in seen:
+                    continue
+                seen.add(key)
+            names.add(self.planner.plan(query).backend)
+        return names
+
     def execute(self, query):
         """Plan ``query``, run it on the chosen backend, annotate the result.
 
@@ -249,6 +270,21 @@ class Executor:
         """
         self.result_cache.invalidate(row=row)
         self.statistics.invalidate()
+
+    def note_mutation(self, relation: Relation,
+                      row: Optional[Mapping[str, object]] = None) -> None:
+        """Record an out-of-band mutation of ``relation`` right away.
+
+        Callers that append to a watched relation directly (the serving
+        layer's unsharded write path) call this instead of letting
+        :meth:`_watched_mutated` discover the version change on the next
+        query: syncing the watched version *first* lets the invalidation
+        stay predicate-aware (``row=...``) — the deferred discovery path
+        can only widen it to a blanket clear.
+        """
+        if id(relation) in self._watched_versions:
+            self._watched_versions[id(relation)] = relation.version
+        self.invalidate_results(row=row)
 
     def watch_relation(self, relation: Relation) -> None:
         """Auto-invalidate cached results whenever ``relation`` mutates.

@@ -1,0 +1,140 @@
+"""The adaptive micro-batcher: accumulate requests, decide when to flush.
+
+The serving layer's algorithmic win lives here.  Queued queries that share
+a ranking function execute through the engine's fused ``execute_batch``
+path as **one** grid frontier sweep / R-tree traversal per function group
+(PR 4), so holding a request back for a few hundred microseconds can make
+the whole batch cheaper than serving it alone.  The batcher trades that
+win against latency with two triggers — flush when ``max_batch_size``
+requests are pending, or when the *oldest* pending request has lingered
+``linger`` seconds, whichever comes first — and adapts the linger between
+flushes:
+
+* a **size-triggered** flush means batches fill before the deadline
+  matters: halve the linger (toward ``min_linger``) — under saturating
+  traffic waiting adds latency without adding fusion;
+* a deadline flush that drained a **single** request means no peer arrived
+  within the window: halve the linger too — sparse traffic gains nothing
+  from waiting;
+* a deadline flush that drained a **partial batch** (more than one, less
+  than half of ``max_batch_size``) means concurrent clients exist but the
+  window is too short to collect them: double the linger (toward
+  ``max_linger``) to fuse more per sweep.
+
+The current linger never exceeds ``max_linger``, so the configuration's
+deadline guarantee — flush on max-batch-size or max-linger, whichever
+first — holds regardless of adaptation.
+
+The batcher is deliberately synchronous and clock-injected (no asyncio in
+this module): :class:`~repro.serve.service.QueryService` drives it from
+the event loop, and tests drive it with a fake clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted query waiting in (or drained from) the request queue."""
+
+    query: object
+    future: "asyncio.Future"
+    enqueued_at: float
+    #: Set by the submit path when its deadline elapsed, so the dispatcher
+    #: can tell an abandoned-by-timeout request (already counted) from a
+    #: caller-cancelled one (counted at drain time).
+    timed_out: bool = field(default=False)
+
+
+class MicroBatcher:
+    """Bounded accumulation of :class:`QueuedRequest` with adaptive flushes.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Size trigger: a flush is due as soon as this many requests pend.
+    max_linger / min_linger:
+        Bounds of the adaptive linger window (seconds); the current value
+        starts at ``max_linger``.
+    clock:
+        Monotonic time source (injected by tests).
+    """
+
+    def __init__(self, max_batch_size: int, max_linger: float,
+                 min_linger: float = 0.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.max_batch_size = max_batch_size
+        self.max_linger = max_linger
+        self.min_linger = min_linger
+        #: Current adaptive linger, always within [min_linger, max_linger].
+        self.linger = max_linger
+        self.clock = clock
+        self._pending: Deque[QueuedRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def append(self, request: QueuedRequest) -> None:
+        """Admit one request to the tail of the queue."""
+        self._pending.append(request)
+
+    def size_ready(self) -> bool:
+        """Whether the size trigger alone makes a flush due."""
+        return len(self._pending) >= self.max_batch_size
+
+    def next_deadline(self) -> Optional[float]:
+        """Absolute time the oldest pending request must flush by.
+
+        ``None`` when the queue is empty.  Computed from the *current*
+        adaptive linger, so the deadline a caller sleeps toward tightens
+        and relaxes with the traffic.
+        """
+        if not self._pending:
+            return None
+        return self._pending[0].enqueued_at + self.linger
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """Whether a flush is due at ``now`` (size or deadline trigger)."""
+        if not self._pending:
+            return False
+        if self.size_ready():
+            return True
+        if now is None:
+            now = self.clock()
+        return now >= self.next_deadline()
+
+    def drain(self, now: Optional[float] = None,
+              force: bool = False) -> List[QueuedRequest]:
+        """Pop the next batch if one is due (or ``force``), else ``[]``.
+
+        At most ``max_batch_size`` requests come out per call, oldest
+        first; a forced drain (service shutdown) flushes without waiting
+        for a trigger and without distorting the adaptation.
+        """
+        if now is None:
+            now = self.clock()
+        if not self._pending:
+            return []
+        due = self.due(now)
+        if not due and not force:
+            return []
+        size_triggered = self.size_ready()
+        batch = [self._pending.popleft()
+                 for _ in range(min(self.max_batch_size, len(self._pending)))]
+        if due:
+            self._adapt(size_triggered, len(batch))
+        return batch
+
+    def _adapt(self, size_triggered: bool, drained: int) -> None:
+        """Move the linger window after a triggered flush (see module doc)."""
+        if size_triggered or drained <= 1:
+            self.linger = max(self.min_linger, self.linger / 2.0)
+        elif drained * 2 < self.max_batch_size:
+            self.linger = min(self.max_linger,
+                              max(self.linger * 2.0, self.max_linger / 8.0))

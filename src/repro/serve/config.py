@@ -1,0 +1,92 @@
+"""Tunables of the async serving layer, one frozen dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.serve.errors import ServeError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of a :class:`~repro.serve.service.QueryService`.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush the request queue as soon as this many requests are pending
+        (the size trigger of the micro-batcher).
+    max_linger:
+        Ceiling, in seconds, on how long the oldest pending request may
+        wait before its batch flushes (the deadline trigger).  The
+        batcher adapts its *current* linger within
+        ``[min_linger, max_linger]`` — see
+        :class:`~repro.serve.batcher.MicroBatcher` — so this bounds the
+        queueing latency the batcher may add, it is not a fixed delay.
+    min_linger:
+        Floor of the adaptive linger (default 0: under sparse or
+        saturating traffic the batcher stops waiting altogether).
+    max_pending:
+        Admission-control high-water mark: a submit finding this many
+        requests already queued is rejected with
+        :class:`~repro.serve.errors.ServiceOverloadedError` instead of
+        growing the backlog without bound.
+    default_timeout:
+        Per-request timeout in seconds applied when ``submit`` /
+        ``submit_many`` pass none explicitly; ``None`` waits forever.
+    engine_concurrency:
+        Maximum engine batches in flight at once (the global semaphore).
+        The default of 1 serializes engine calls: the single-relation
+        engine stacks share mutable structures (buffer pools, statistics
+        catalogs) that are not hardened for concurrent batches, and a
+        scatter engine parallelizes *inside* one call via its per-shard
+        legs.  Raise it only for stacks known to tolerate concurrent
+        batches.
+    backend_limits:
+        Optional per-backend concurrency limits, backend name → max
+        batches concurrently touching that backend (``"ranking-cube"``,
+        ``"table-scan"``, ``"scatter-gather"``, ...).  When non-empty,
+        every batch is routed first (``plan_backends`` — an extra
+        planning pass per dispatch; plans are cheap next to execution,
+        but leave this empty when no limit is needed) and must hold the
+        semaphore of each backend it can occupy before executing.
+    latency_window:
+        How many recent completions the latency/queue-wait percentile
+        reservoirs retain.
+    """
+
+    max_batch_size: int = 64
+    max_linger: float = 0.002
+    min_linger: float = 0.0
+    max_pending: int = 1024
+    default_timeout: Optional[float] = None
+    engine_concurrency: int = 1
+    backend_limits: Mapping[str, int] = field(default_factory=dict)
+    latency_window: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ServeError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_linger < 0 or self.min_linger < 0:
+            raise ServeError("linger bounds must be non-negative")
+        if self.min_linger > self.max_linger:
+            raise ServeError(
+                f"min_linger {self.min_linger} exceeds max_linger "
+                f"{self.max_linger}")
+        if self.max_pending < 1:
+            raise ServeError(
+                f"max_pending must be >= 1, got {self.max_pending}")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ServeError("default_timeout must be positive or None")
+        if self.engine_concurrency < 1:
+            raise ServeError(
+                f"engine_concurrency must be >= 1, got "
+                f"{self.engine_concurrency}")
+        if self.latency_window < 1:
+            raise ServeError("latency_window must be >= 1")
+        for name, limit in dict(self.backend_limits).items():
+            if int(limit) < 1:
+                raise ServeError(
+                    f"backend limit for {name!r} must be >= 1, got {limit}")

@@ -1,0 +1,25 @@
+"""Errors raised by the async serving layer."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer failures."""
+
+
+class ServiceClosedError(ServeError):
+    """The service is shut down (or shutting down) and admits no work."""
+
+
+class ServiceOverloadedError(ServeError):
+    """Admission control rejected the request: the queue hit its high-water mark.
+
+    Backpressure by rejection — the caller learns immediately instead of
+    queueing behind a backlog it can never clear.
+    """
+
+
+class RequestTimeoutError(ServeError):
+    """The per-request deadline elapsed before a result was produced."""

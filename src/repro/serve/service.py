@@ -1,0 +1,475 @@
+"""The asyncio front door: request queue, micro-batched dispatch, writes.
+
+:class:`QueryService` turns an engine front door (the single-relation
+:class:`~repro.engine.Executor` or the sharded
+:class:`~repro.shard.scatter.ScatterGatherExecutor` — anything exposing
+``execute_many`` and ``cache_stats``) into a long-lived concurrent
+service:
+
+* ``await service.submit(query)`` admits one query to a bounded request
+  queue (rejecting beyond the high-water mark) and resolves with the
+  engine's :class:`~repro.query.QueryResult`;
+* a drain loop flushes the queue through the adaptive
+  :class:`~repro.serve.batcher.MicroBatcher` — flush on max-batch-size or
+  the linger deadline, whichever first — into **one**
+  ``engine.execute_many`` call per tick, so concurrent clients issuing
+  same-function queries transparently share one fused frontier sweep /
+  R-tree traversal (PR 4) without coordinating with each other;
+* engine work runs on a thread pool via ``loop.run_in_executor`` — a
+  scatter engine's own leg pool is reused (``ensure_pool`` with a reserve
+  for the front-door calls) rather than duplicated — gated by a global
+  concurrency semaphore and optional per-backend semaphores;
+* ``await service.insert(row)`` / ``await service.reshard(policy)`` form
+  a serialized write path: writers drain the in-flight engine calls
+  before mutating, so the invalidation hooks a mutation fires can never
+  race a sweep that is half way through the old data.
+
+Every response's ``extra`` carries the serving provenance next to the
+engine's usual fields: ``queue_wait`` (seconds from admission to
+dispatch), ``batch_size`` (live requests in the dispatched batch), and
+the engine-recorded ``fused_group_size``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Mapping, Optional, Set
+
+from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.config import ServiceConfig
+from repro.serve.errors import (
+    RequestTimeoutError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serve.stats import ServiceStats
+
+_UNSET = object()
+
+
+class QueryService:
+    """Async serving facade over an engine front door.
+
+    Parameters
+    ----------
+    engine:
+        The executor to serve: an :class:`~repro.engine.Executor` or a
+        :class:`~repro.shard.scatter.ScatterGatherExecutor`.
+    config:
+        :class:`~repro.serve.config.ServiceConfig` tunables (micro-batch
+        size and linger, admission high-water mark, timeouts, concurrency
+        limits).
+    manager:
+        The :class:`~repro.shard.manager.ShardManager` backing the write
+        path.  Defaults to ``engine.manager`` when the engine is a
+        scatter/gather executor; without one, :meth:`insert` needs
+        ``relation`` and :meth:`reshard` is unavailable.
+    relation:
+        Unsharded write target: :meth:`insert` appends to it directly and
+        narrows the engine's cache invalidation to the inserted row.
+        Note the unsharded engine's scope caveat
+        (:meth:`~repro.engine.Executor.watch_relation`): backends with
+        static indexes keep answering from the data they were built over.
+        The manager-backed path rebuilds the owning shard's stack instead
+        and has no such caveat.
+    clock:
+        Monotonic time source, injected by tests.
+
+    The service must be started inside a running event loop — use
+    ``async with QueryService(...) as service:`` or call :meth:`start` /
+    :meth:`close` explicitly.
+    """
+
+    def __init__(self, engine, config: Optional[ServiceConfig] = None, *,
+                 manager=None, relation=None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.manager = manager if manager is not None \
+            else getattr(engine, "manager", None)
+        self.relation = relation
+        self._clock = clock
+        self.batcher = MicroBatcher(self.config.max_batch_size,
+                                    self.config.max_linger,
+                                    self.config.min_linger,
+                                    clock=clock)
+        self.stats = ServiceStats(window=self.config.latency_window,
+                                  clock=clock)
+        self._ensure_pool = getattr(engine, "ensure_pool", None)
+        if self._ensure_pool is not None:
+            # Reuse the scatter layer's leg pool; the reserve keeps the
+            # front-door calls from starving the legs they fan out to.
+            # The handle is re-fetched per dispatch (never cached): a
+            # later ensure_pool with a larger reserve replaces the pool,
+            # invalidating old handles.
+            self._pool: ThreadPoolExecutor = self._ensure_pool(
+                reserve=self.config.engine_concurrency)
+            self._owns_pool = False
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.engine_concurrency,
+                thread_name_prefix="repro-serve")
+            self._owns_pool = True
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._closing = False
+        self._closed = False
+        self._engine_calls = 0
+        self._fused_baseline = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "QueryService":
+        """Bind to the running loop and start the drain loop."""
+        if self._loop is not None:
+            raise ServeError("QueryService is already started")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._no_writer = asyncio.Event()
+        self._no_writer.set()
+        self._engine_idle = asyncio.Event()
+        self._engine_idle.set()
+        self._mutation_lock = asyncio.Lock()
+        self._engine_sem = asyncio.Semaphore(self.config.engine_concurrency)
+        self._backend_sems = {
+            name: asyncio.Semaphore(int(limit))
+            for name, limit in dict(self.config.backend_limits).items()
+        }
+        # Fusion the engine did before the service attached (warm-ups,
+        # direct use) must not inflate the service's fusion rate.
+        self._fused_baseline = float(
+            self.engine.cache_stats().get("fused_queries", 0.0))
+        self._drain_task = self._loop.create_task(self._drain_loop())
+        return self
+
+    async def close(self) -> None:
+        """Stop admissions, flush the queue, wait for in-flight work.
+
+        Pending requests are *executed* (graceful drain), not failed;
+        admissions racing the shutdown get
+        :class:`~repro.serve.errors.ServiceClosedError`.
+        """
+        if self._loop is None or self._closed:
+            return
+        self._closing = True
+        self._wake.set()
+        if self._drain_task is not None:
+            await self._drain_task
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks))
+        self._closed = True
+        if self._owns_pool:
+            self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # admission / submission
+    # ------------------------------------------------------------------
+    def _admit(self, query) -> QueuedRequest:
+        self._require_running()
+        if len(self.batcher) >= self.config.max_pending:
+            self.stats.record_rejection()
+            raise ServiceOverloadedError(
+                f"request queue at its high-water mark "
+                f"({self.config.max_pending} pending); retry later")
+        request = QueuedRequest(query=query,
+                                future=self._loop.create_future(),
+                                enqueued_at=self._clock())
+        self.batcher.append(request)
+        self.stats.record_admission()
+        self._wake.set()
+        return request
+
+    async def submit(self, query, *, timeout=_UNSET):
+        """Admit one query; resolve with its engine result.
+
+        ``timeout`` (seconds) overrides the config's ``default_timeout``
+        for this request; ``None`` waits forever.  On expiry the request
+        is abandoned — dropped at drain time if still queued, its result
+        discarded if already in flight — and
+        :class:`~repro.serve.errors.RequestTimeoutError` is raised.
+        Cancelling the awaiting task likewise abandons the request.
+        """
+        request = self._admit(query)
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout
+        if timeout is None:
+            return await request.future
+        # Shield the future so the deadline path — not wait_for — cancels
+        # it, strictly *after* marking the request timed out; otherwise a
+        # concurrent drain could observe the bare cancellation and count
+        # the same request as both cancelled and timed out.
+        try:
+            return await asyncio.wait_for(asyncio.shield(request.future),
+                                          timeout)
+        except asyncio.TimeoutError:
+            request.timed_out = True
+            self.stats.record_timeout()
+            request.future.cancel()
+            raise RequestTimeoutError(
+                f"query timed out after {float(timeout):.4g}s in the "
+                f"serving queue") from None
+        except asyncio.CancelledError:
+            request.future.cancel()
+            raise
+
+    async def submit_many(self, queries: Iterable, *, timeout=_UNSET) -> List:
+        """Fan one client's batch into the shared queue; gather in order.
+
+        Admission is all-or-nothing: if the queue's high-water mark cuts
+        the batch short, the already-admitted requests are abandoned and
+        the admission error propagates.  ``timeout`` spans the whole
+        batch.
+        """
+        requests: List[QueuedRequest] = []
+        try:
+            for query in queries:
+                requests.append(self._admit(query))
+        except ServeError:
+            for request in requests:
+                request.future.cancel()
+            raise
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout
+        if timeout is None:
+            return list(await asyncio.gather(
+                *(request.future for request in requests)))
+        # Shielded for the same reason as submit: mark each unresolved
+        # request timed out before its future is cancelled.
+        gathered = asyncio.gather(
+            *(asyncio.shield(request.future) for request in requests))
+        try:
+            return list(await asyncio.wait_for(gathered, timeout))
+        except asyncio.TimeoutError:
+            for request in requests:
+                if not request.future.done():
+                    request.timed_out = True
+                    self.stats.record_timeout()
+                    request.future.cancel()
+            raise RequestTimeoutError(
+                f"batch timed out after {float(timeout):.4g}s in the "
+                f"serving queue") from None
+        except asyncio.CancelledError:
+            for request in requests:
+                if not request.future.done():
+                    request.future.cancel()
+            raise
+
+    # ------------------------------------------------------------------
+    # drain loop / dispatch
+    # ------------------------------------------------------------------
+    async def _drain_loop(self) -> None:
+        while True:
+            now = self._clock()
+            if self.batcher.due(now) or (self._closing and len(self.batcher)):
+                batch = self.batcher.drain(now, force=self._closing)
+                if batch:
+                    task = self._loop.create_task(self._dispatch(batch))
+                    self._tasks.add(task)
+                    task.add_done_callback(self._tasks.discard)
+                continue
+            if self._closing:
+                break
+            deadline = self.batcher.next_deadline()
+            timeout = None if deadline is None else max(deadline - now, 0.0)
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _dispatch(self, batch: List[QueuedRequest]) -> None:
+        live: List[QueuedRequest] = []
+        for request in batch:
+            if request.future.done():
+                # Abandoned while queued: timeouts were counted by the
+                # submit path, everything else is a caller cancellation.
+                if request.future.cancelled() and not request.timed_out:
+                    self.stats.record_cancellation()
+                continue
+            live.append(request)
+        if not live:
+            return
+        queries = [request.query for request in live]
+        async with self._engine_sem:
+            await self._engine_enter()
+            acquired: List[asyncio.Semaphore] = []
+            try:
+                if self._backend_sems:
+                    names = await self._in_executor(self._route, queries)
+                    for name in sorted(names):
+                        sem = self._backend_sems.get(name)
+                        if sem is not None:
+                            await sem.acquire()
+                            acquired.append(sem)
+                dispatched_at = self._clock()
+                self.stats.record_batch(len(live))
+                results = await self._in_executor(self.engine.execute_many,
+                                                  queries)
+            except Exception as exc:
+                for request in live:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                        self.stats.record_failure()
+                    elif (request.future.cancelled()
+                          and not request.timed_out):
+                        self.stats.record_cancellation()
+                return
+            finally:
+                for sem in acquired:
+                    sem.release()
+                self._engine_exit()
+        now = self._clock()
+        batch_size = float(len(live))
+        for request, result in zip(live, results):
+            queue_wait = dispatched_at - request.enqueued_at
+            result.extra["queue_wait"] = queue_wait
+            result.extra["batch_size"] = batch_size
+            result.extra.setdefault("fused_group_size", 1.0)
+            if not request.future.done():
+                request.future.set_result(result)
+                self.stats.record_completion(queue_wait,
+                                             now - request.enqueued_at)
+            elif request.future.cancelled() and not request.timed_out:
+                # Abandoned while the batch was already executing: the
+                # result is discarded, but the cancellation still counts.
+                self.stats.record_cancellation()
+
+    def _current_pool(self) -> ThreadPoolExecutor:
+        """The pool to dispatch on *right now* (engine pools can be grown)."""
+        if self._ensure_pool is not None:
+            return self._ensure_pool(reserve=self.config.engine_concurrency)
+        return self._pool
+
+    async def _in_executor(self, fn, *args):
+        """``run_in_executor`` on the current pool, surviving a pool swap.
+
+        A concurrent ``ensure_pool`` with a larger reserve (another
+        service attaching to the same engine) can shut the fetched pool
+        down between the fetch and the submit; that exact failure — and
+        only it, identified by its message so an engine-raised
+        ``RuntimeError`` is never swallowed — is retried once on the
+        replacement pool.
+        """
+        try:
+            return await self._loop.run_in_executor(self._current_pool(),
+                                                    fn, *args)
+        except RuntimeError as exc:
+            if "after shutdown" not in str(exc):
+                raise
+            return await self._loop.run_in_executor(self._current_pool(),
+                                                    fn, *args)
+
+    def _route(self, queries: List) -> Set[str]:
+        """Backend names this batch could occupy (worker-thread planning)."""
+        plan_backends = getattr(self.engine, "plan_backends", None)
+        if plan_backends is None:
+            return set()
+        return set(plan_backends(queries))
+
+    # ------------------------------------------------------------------
+    # engine/writer gate
+    # ------------------------------------------------------------------
+    async def _engine_enter(self) -> None:
+        """Wait out any writer, then count this engine call as in flight.
+
+        The re-check loop closes the race where a writer slips in between
+        the event firing and this task resuming; the count update is
+        synchronous after the final check, so a writer observing the
+        engine idle can never miss a call that already passed the gate.
+        """
+        while not self._no_writer.is_set():
+            await self._no_writer.wait()
+        self._engine_calls += 1
+        self._engine_idle.clear()
+
+    def _engine_exit(self) -> None:
+        self._engine_calls -= 1
+        if self._engine_calls == 0:
+            self._engine_idle.set()
+
+    # ------------------------------------------------------------------
+    # serialized write path
+    # ------------------------------------------------------------------
+    async def _mutate(self, apply: Callable[[], object]):
+        """Run one mutation with the engine drained: the write contract.
+
+        Writers serialize among themselves (``_mutation_lock``), bar new
+        engine calls (``_no_writer``), wait for the in-flight ones to
+        finish (``_engine_idle``), and only then mutate — so the
+        invalidation hooks the mutation fires can never race a sweep.
+        Requests admitted before the write but not yet dispatched simply
+        execute after it, against the post-mutation data and caches.
+        """
+        self._require_running()
+        async with self._mutation_lock:
+            self._no_writer.clear()
+            try:
+                await self._engine_idle.wait()
+                return await self._in_executor(apply)
+            finally:
+                self._no_writer.set()
+                self._wake.set()
+
+    def _require_running(self) -> None:
+        if self._loop is None:
+            raise ServiceClosedError(
+                "QueryService is not running; enter it with 'async with' "
+                "or call start() first")
+        if self._closing:
+            raise ServiceClosedError("QueryService is shutting down")
+
+    async def insert(self, row: Mapping[str, object]) -> int:
+        """Append ``row`` behind the drained engine; return its global tid."""
+        self._require_running()
+        row = dict(row)
+        if self.manager is not None:
+            return await self._mutate(lambda: self.manager.insert(row))
+        if self.relation is not None:
+            return await self._mutate(lambda: self._apply_unsharded_insert(row))
+        raise ServeError(
+            "this service has no write path: construct it over a scatter "
+            "engine (or pass manager=...) or pass relation=... for the "
+            "unsharded append path")
+
+    def _apply_unsharded_insert(self, row: Mapping[str, object]) -> int:
+        tid = self.relation.append(row)
+        note = getattr(self.engine, "note_mutation", None)
+        if note is not None:
+            note(self.relation, row=row)
+        else:
+            self.engine.invalidate_results(row=row)
+        return tid
+
+    async def reshard(self, policy) -> None:
+        """Re-split the managed relation under ``policy``, engine drained."""
+        self._require_running()
+        if self.manager is None:
+            raise ServeError("reshard needs a ShardManager-backed service")
+        await self._mutate(lambda: self.manager.reshard(policy))
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """The merged serving view: service counters + engine cache stats.
+
+        Adds the live queue depth (``pending``) and the batcher's current
+        adaptive linger (``current_linger``) to the
+        :meth:`~repro.serve.stats.ServiceStats.snapshot` mapping.
+        """
+        snap = self.stats.snapshot(self.engine.cache_stats(),
+                                   fused_baseline=self._fused_baseline)
+        snap["pending"] = float(len(self.batcher))
+        snap["current_linger"] = float(self.batcher.linger)
+        return snap

@@ -1,0 +1,128 @@
+"""Serving-side observability: counters, latency percentiles, fusion rates.
+
+:class:`ServiceStats` is the service's own ledger — admissions,
+rejections, completions, timeouts, batch sizes, and bounded reservoirs of
+per-request latency and queue wait.  Its :meth:`~ServiceStats.snapshot`
+merges the engine's ``cache_stats()`` (result-cache and fusion counters,
+already aggregated across shards by
+:meth:`~repro.shard.scatter.ScatterGatherExecutor.cache_stats`), so one
+mapping answers "how is serving going" end to end.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Mapping, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 < q <= 100); 0.0 if empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+class ServiceStats:
+    """Counters and reservoirs a :class:`QueryService` records into.
+
+    All recording methods run on the event-loop thread, so there is no
+    locking here; the snapshot is a plain dict of floats in the same
+    spirit as the engines' ``cache_stats()``.
+    """
+
+    def __init__(self, window: int = 2048,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._started = clock()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.timed_out = 0
+        self.cancelled = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self._latency: Deque[float] = deque(maxlen=window)
+        self._queue_wait: Deque[float] = deque(maxlen=window)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_admission(self) -> None:
+        self.submitted += 1
+
+    def record_rejection(self) -> None:
+        self.rejected += 1
+
+    def record_timeout(self) -> None:
+        self.timed_out += 1
+
+    def record_cancellation(self) -> None:
+        self.cancelled += 1
+
+    def record_failure(self) -> None:
+        self.failed += 1
+
+    def record_batch(self, size: int) -> None:
+        """One engine dispatch of ``size`` live requests."""
+        self.batches += 1
+        self.batched_requests += size
+
+    def record_completion(self, queue_wait: float, latency: float) -> None:
+        """One request resolved with a result."""
+        self.completed += 1
+        self._queue_wait.append(queue_wait)
+        self._latency.append(latency)
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self, engine_stats: Optional[Mapping[str, float]] = None,
+                 fused_baseline: float = 0.0) -> Dict[str, float]:
+        """The merged serving view as one ``{name: float}`` mapping.
+
+        Service-side keys: counters, ``throughput_qps`` (completions per
+        second since construction), ``mean_batch_size``, and
+        p50/p90/p99 of request latency and queue wait (seconds, over the
+        retained window).  ``engine_stats`` — the engine's
+        ``cache_stats()`` — is merged in as-is (lifetime counters), and
+        feeds ``fusion_rate``: the fraction of service-dispatched queries
+        answered through a fused group's shared sweep.  ``fused_baseline``
+        is the engine's ``fused_queries`` before the service attached, so
+        fusion the service did not cause (warm-ups, direct engine use) is
+        excluded from the rate.
+        """
+        elapsed = max(self._clock() - self._started, 1e-9)
+        latencies = list(self._latency)
+        waits = list(self._queue_wait)
+        snap: Dict[str, float] = {
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "rejected": float(self.rejected),
+            "timed_out": float(self.timed_out),
+            "cancelled": float(self.cancelled),
+            "failed": float(self.failed),
+            "batches": float(self.batches),
+            "batched_requests": float(self.batched_requests),
+            "mean_batch_size": (self.batched_requests / self.batches
+                                if self.batches else 0.0),
+            "throughput_qps": self.completed / elapsed,
+            "latency_p50": percentile(latencies, 50),
+            "latency_p90": percentile(latencies, 90),
+            "latency_p99": percentile(latencies, 99),
+            "queue_wait_p50": percentile(waits, 50),
+            "queue_wait_p90": percentile(waits, 90),
+            "queue_wait_p99": percentile(waits, 99),
+        }
+        if engine_stats is not None:
+            snap.update({name: float(value)
+                         for name, value in engine_stats.items()})
+            fused = max(0.0, float(engine_stats.get("fused_queries", 0.0))
+                        - fused_baseline)
+            snap["fusion_rate"] = (fused / self.batched_requests
+                                   if self.batched_requests else 0.0)
+        return snap

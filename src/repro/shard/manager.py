@@ -113,6 +113,16 @@ class ShardManager:
             self._executors[shard.index] = executor
         return executor
 
+    def built_executors(self) -> Dict[int, Executor]:
+        """The per-shard engine stacks built so far, keyed by shard index.
+
+        A snapshot for observers (``ScatterGatherExecutor.cache_stats``
+        aggregates per-shard counters through it); stacks are *not* forced
+        into existence, so a shard the statistics always pruned stays
+        absent and never pays index construction just to be counted.
+        """
+        return dict(self._executors)
+
     # ------------------------------------------------------------------
     # invalidation plumbing
     # ------------------------------------------------------------------

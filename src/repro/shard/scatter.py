@@ -32,9 +32,11 @@ explainable end-to-end, just like a single-engine plan.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.engine.cache import (
     ResultCache,
@@ -87,9 +89,13 @@ class ScatterGatherExecutor:
         self.max_workers = max_workers
         self.cost_model = cost_model or CostModel()
         self.result_cache = result_cache or ResultCache()
+        self.fused_groups = 0
+        self.fused_queries = 0
         self._cache_scope = new_cache_scope()
         self._relation_version = manager.relation.version
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_workers = 0
+        self._pool_lock = threading.Lock()
         manager.add_invalidation_hook(self._on_mutation)
 
     def _on_mutation(self, row=None) -> None:
@@ -133,6 +139,37 @@ class ScatterGatherExecutor:
                 "through ShardManager.insert() or call reshard()")
         self._relation_version = self.manager.relation.version
         self.result_cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # thread pool
+    # ------------------------------------------------------------------
+    def ensure_pool(self, reserve: int = 0) -> ThreadPoolExecutor:
+        """The scatter thread pool, created on first use and then reused.
+
+        ``reserve`` adds workers beyond the per-shard legs for callers
+        that dispatch whole front-door calls onto the *same* pool (the
+        async serving layer reuses this pool instead of duplicating it):
+        with at most ``reserve`` such outer calls in flight at once, the
+        legs they fan out to always find a free worker, so nesting
+        front-door work and scatter legs on one pool cannot deadlock.
+        A pool created earlier with fewer workers (a parallel scatter ran
+        before the serving layer attached) is replaced by a larger one —
+        otherwise the reserve, and the deadlock-freedom argument with it,
+        would be silently lost; the old pool finishes its queued legs and
+        is shut down without blocking.  Because a replacement invalidates
+        previously returned handles, callers that dispatch onto this pool
+        across await points must re-fetch it per call rather than caching
+        the return value (the serving layer does).
+        """
+        needed = (self.max_workers or self.manager.num_shards) + max(0, reserve)
+        with self._pool_lock:
+            if self._pool is not None and needed > self._pool_workers:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=needed)
+                self._pool_workers = needed
+            return self._pool
 
     # ------------------------------------------------------------------
     # shard pruning
@@ -237,6 +274,17 @@ class ScatterGatherExecutor:
         """One-line explanation of how ``query`` scatters."""
         return self.plan(query).describe()
 
+    def plan_backends(self, queries: Iterable) -> Set[str]:
+        """Backend names a batch would occupy — here, the scatter itself.
+
+        The serving layer keys its per-backend concurrency semaphores on
+        these names.  For a scatter engine the unit of contention is the
+        whole scatter front door (the per-shard backend choices run
+        *inside* its legs), so every non-empty batch maps to
+        ``{"scatter-gather"}``.
+        """
+        return {"scatter-gather"} if list(queries) else set()
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -326,6 +374,8 @@ class ScatterGatherExecutor:
             if len(members) == 1:
                 singles.append(members[0])
                 continue
+            self.fused_groups += 1
+            self.fused_queries += len(members)
             group_results = self._execute_group(
                 [units[position] for position in members])
             for position, result in zip(members, group_results):
@@ -398,17 +448,13 @@ class ScatterGatherExecutor:
                 if riders:
                     legs.append((shard, riders))
             if legs:
-                if self._pool is None and len(legs) > 1:
-                    self._pool = ThreadPoolExecutor(
-                        max_workers=self.max_workers or self.manager.num_shards)
-
                 def run_leg(leg):
                     shard, riders = leg
                     return self.manager.executor_for(shard).execute_many(
                         [group_queries[qi] for qi in riders])
 
-                if self._pool is not None and len(legs) > 1:
-                    leg_outputs = list(self._pool.map(run_leg, legs))
+                if len(legs) > 1:
+                    leg_outputs = list(self.ensure_pool().map(run_leg, legs))
                 else:
                     leg_outputs = [run_leg(leg) for leg in legs]
                 for (shard, riders), leg_results in zip(legs, leg_outputs):
@@ -478,10 +524,7 @@ class ScatterGatherExecutor:
         small scattered queries.
         """
         if self.parallel and len(consulted) > 1:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.max_workers or self.manager.num_shards)
-            return list(self._pool.map(
+            return list(self.ensure_pool().map(
                 lambda shard: self.manager.executor_for(shard).execute(query),
                 consulted))
         return [self.manager.executor_for(shard).execute(query)
@@ -618,5 +661,51 @@ class ScatterGatherExecutor:
     # statistics
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, float]:
-        """Hit/miss statistics of the scatter-level result cache."""
-        return dict(self.result_cache.stats())
+        """One merged statistics view of the whole sharded stack.
+
+        Callers (``ServiceStats``, benchmarks, operators) read a single
+        mapping instead of poking per-shard executors:
+
+        * ``result_*`` — the scatter-level front-door result cache, same
+          keys as the unsharded executor's;
+        * ``entries`` / ``hits`` / ``misses`` / ``hit_rate`` — the
+          per-shard lower-bound caches, summed (rate recomputed over the
+          sums);
+        * ``fused_groups`` / ``fused_queries`` — *front-door* fusion: how
+          many same-function groups (and member queries) this executor's
+          ``execute_many`` scattered as one leg per shard;
+        * ``plans_reused`` and ``shard_fused_groups`` /
+          ``shard_fused_queries`` — the per-shard engine counters, summed
+          (a group fused on N shards counts once per shard leg that
+          actually fused it, so the shard sums can exceed the front-door
+          counts);
+        * ``shard_result_*`` — the per-shard result caches, summed;
+        * ``shards_built`` — how many shard stacks exist at all (lazily
+          built stacks the statistics always pruned are absent from every
+          sum above).
+        """
+        stats: Dict[str, float] = OrderedDict(self.result_cache.stats())
+        summed = ("entries", "hits", "misses", "plans_reused")
+        totals = {name: 0.0 for name in summed}
+        shard_sums = {"shard_fused_groups": "fused_groups",
+                      "shard_fused_queries": "fused_queries",
+                      "shard_result_entries": "result_entries",
+                      "shard_result_hits": "result_hits",
+                      "shard_result_misses": "result_misses",
+                      "shard_result_invalidations": "result_invalidations"}
+        shard_totals = {name: 0.0 for name in shard_sums}
+        built = self.manager.built_executors()
+        for executor in built.values():
+            shard_stats = executor.cache_stats()
+            for name in summed:
+                totals[name] += float(shard_stats.get(name, 0.0))
+            for name, source in shard_sums.items():
+                shard_totals[name] += float(shard_stats.get(source, 0.0))
+        stats.update(totals)
+        lookups = totals["hits"] + totals["misses"]
+        stats["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        stats["fused_groups"] = float(self.fused_groups)
+        stats["fused_queries"] = float(self.fused_queries)
+        stats.update(shard_totals)
+        stats["shards_built"] = float(len(built))
+        return stats

@@ -5,6 +5,10 @@ from repro.workloads.covertype import (
     COVERTYPE_SELECTION_CARDINALITIES,
     make_covertype_like,
 )
+from repro.workloads.serving import (
+    distinct_serving_queries,
+    serving_client_queries,
+)
 from repro.workloads.sharded import (
     make_sharded_engine,
     pruned_predicate_queries,
@@ -29,6 +33,7 @@ __all__ = [
     "DISTRIBUTIONS",
     "QuerySpec",
     "SyntheticSpec",
+    "distinct_serving_queries",
     "generate_queries",
     "generate_relation",
     "make_ranking_function",
@@ -37,5 +42,6 @@ __all__ = [
     "random_predicate",
     "ranking_dim_names",
     "selection_dim_names",
+    "serving_client_queries",
     "skewed_planner_workload",
 ]

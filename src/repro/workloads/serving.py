@@ -1,0 +1,86 @@
+"""Serving workloads: concurrent clients sharing a few ranking functions.
+
+The serving layer's sweet spot is many independent clients issuing ad-hoc
+top-k queries whose ranking functions are drawn from a small shared set —
+exactly the traffic an adaptive micro-batcher can fuse into one frontier
+sweep per function group.  :func:`serving_client_queries` builds that
+shape deterministically; :func:`distinct_serving_queries` builds the
+repeat-free variant benchmarks use to isolate the fusion win from
+result-cache hits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.functions.linear import LinearFunction
+from repro.query import Predicate, TopKQuery
+from repro.storage.table import Relation
+
+
+def _shared_functions(relation: Relation, num_functions: int,
+                      rng: np.random.Generator) -> List[LinearFunction]:
+    dims = list(relation.ranking_dims)
+    return [LinearFunction(dims,
+                           [float(w) for w in rng.uniform(0.5, 3.0, len(dims))])
+            for _ in range(num_functions)]
+
+
+def serving_client_queries(relation: Relation, num_clients: int = 8,
+                           per_client: int = 6, num_functions: int = 2,
+                           dim: str = "A1",
+                           k_choices: Sequence[int] = (1, 5, 10),
+                           empty_predicate_share: float = 0.3,
+                           seed: int = 97) -> List[List[TopKQuery]]:
+    """One query stream per client, functions drawn from a shared pool.
+
+    Each query pins ``dim`` to a random value (or, with
+    ``empty_predicate_share`` probability, uses the empty predicate) and
+    ranks by one of ``num_functions`` shared linear functions — so
+    concurrent streams repeat logical queries (result-cache traffic) *and*
+    share functions across distinct queries (fusion traffic).
+    """
+    rng = np.random.default_rng(seed)
+    functions = _shared_functions(relation, num_functions, rng)
+    values = np.unique(relation.selection_column(dim))
+    clients: List[List[TopKQuery]] = []
+    for _ in range(num_clients):
+        stream: List[TopKQuery] = []
+        for _ in range(per_client):
+            function = functions[int(rng.integers(len(functions)))]
+            k = int(k_choices[int(rng.integers(len(k_choices)))])
+            if rng.random() < empty_predicate_share:
+                predicate = Predicate.of()
+            else:
+                predicate = Predicate.of(
+                    {dim: int(values[int(rng.integers(len(values)))])})
+            stream.append(TopKQuery(predicate, function, k))
+        clients.append(stream)
+    return clients
+
+
+def distinct_serving_queries(relation: Relation, num_functions: int = 2,
+                             dim: str = "A1",
+                             k_choices: Sequence[int] = (1, 3, 5, 10, 20),
+                             values: Optional[Sequence[int]] = None,
+                             seed: int = 131) -> List[TopKQuery]:
+    """Every (predicate, k, function) combination exactly once.
+
+    No logical repeats means no result-cache hits on either side of a
+    comparison — any work saved by batching is the fused sweeps' doing,
+    which is what the serving benchmark wants to gate.
+    """
+    rng = np.random.default_rng(seed)
+    functions = _shared_functions(relation, num_functions, rng)
+    if values is None:
+        values = [int(v) for v in np.unique(relation.selection_column(dim))]
+    queries: List[TopKQuery] = []
+    for function in functions:
+        for k in k_choices:
+            queries.append(TopKQuery(Predicate.of(), function, int(k)))
+        for value in values:
+            queries.append(TopKQuery(Predicate.of({dim: int(value)}),
+                                     function, int(k_choices[0])))
+    return queries

@@ -1,0 +1,73 @@
+"""Tiny-N smoke tests for the operator-facing benchmark scripts.
+
+``benchmarks/calibrate_cost_model.py`` and ``benchmarks/bench_serving.py``
+are runnable by hand (and the latter in CI); without a test-suite smoke
+they can rot silently against engine API changes.  Both scripts take a
+``--tuples`` override exactly so these tests can drive them at sizes that
+finish in well under a second.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import re
+import sys
+
+import pytest
+
+from repro.engine import CostModel
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+
+
+def load_benchmark(name: str):
+    """Import a benchmark script (not a package module) by file name."""
+    path = os.path.join(BENCH_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCalibrateCostModel:
+    def test_emits_valid_cost_model_snippet(self, capsys):
+        calibrate = load_benchmark("calibrate_cost_model")
+        assert calibrate.main(["--quick", "--tuples", "500",
+                               "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        # The operator-facing contract: a ready-to-paste
+        # ``CostModel(**constants)`` snippet whose constants construct.
+        snippet = re.search(
+            r"^CostModel\(\n((?:\s+\w+=\S+,\n)+)\)$", out, re.MULTILINE)
+        assert snippet is not None, f"no CostModel snippet in output:\n{out}"
+        constants = {}
+        for line in snippet.group(1).strip().splitlines():
+            name, value = line.strip().rstrip(",").split("=")
+            constants[name] = float(value)
+        assert set(constants) == {"row_filter_cost", "block_touch_cost",
+                                  "node_touch_cost", "signature_test_cost"}
+        model = CostModel(**constants)
+        for name, value in constants.items():
+            assert getattr(model, name) == pytest.approx(value)
+            assert value > 0.0
+
+    def test_unknown_constant_would_fail(self):
+        # The snippet's validity is meaningful because CostModel rejects
+        # misspelled constants loudly.
+        with pytest.raises(ValueError):
+            CostModel(block_tuch_cost=1.0)
+
+
+class TestBenchServing:
+    def test_quick_mode_gates_pass_at_tiny_n(self, capsys):
+        bench = load_benchmark("bench_serving")
+        assert bench.main(["--quick", "--tuples", "800",
+                           "--clients", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fused_queries=" in out
+        # The CI gate's two clauses are visible in the summary.
+        match = re.search(r"serial:\s+(\d+) tuples", out)
+        served = re.search(r"served:\s+(\d+) tuples", out)
+        assert match and served
+        assert int(served.group(1)) * 2 <= int(match.group(1))

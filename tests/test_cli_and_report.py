@@ -64,6 +64,21 @@ class TestCli:
         out = capsys.readouterr().out
         assert "top-5" in out and "block accesses" in out
 
+    def test_serve_sharded(self, capsys):
+        assert main(["serve", "--clients", "3", "--queries", "3",
+                     "--linger", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scatter/gather over 3 range shards" in out
+        assert "served 9 queries from 3 concurrent clients" in out
+        assert "fused queries:" in out and "throughput:" in out
+
+    def test_serve_unsharded(self, capsys):
+        assert main(["serve", "--shards", "1", "--clients", "2",
+                     "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "engine: unsharded" in out
+        assert "served 4 queries from 2 concurrent clients" in out
+
     def test_run_experiments_unknown_id(self, capsys):
         assert main(["run-experiments", "--only", "not-a-figure"]) == 2
 

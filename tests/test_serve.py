@@ -1,0 +1,699 @@
+"""The async serving layer: parity, batching, backpressure, writes, stats.
+
+Covers the serving parity gate (answers through :class:`QueryService` are
+bit-identical to direct ``execute`` on the same engine, unsharded and
+across shard counts {1, 2, 7}), the adaptive micro-batcher's flush
+triggers and linger adaptation, admission control, per-request timeouts
+and cancellation, per-backend concurrency limits, the serialized write
+path interleaved with queued work (the predicate-aware invalidation
+contract), and the merged statistics views
+(``ScatterGatherExecutor.cache_stats`` + ``ServiceStats``).
+
+The tests drive asyncio through plain ``asyncio.run`` so the suite needs
+no async pytest plugin (the dev extra ships one for convenience, not
+correctness).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.engine import Executor
+from repro.functions.linear import LinearFunction, sum_function
+from repro.query import Predicate, SkylineQuery, TopKQuery
+from repro.serve import (
+    MicroBatcher,
+    QueryService,
+    QueuedRequest,
+    RequestTimeoutError,
+    ServeError,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceOverloadedError,
+)
+from repro.workloads import (
+    SyntheticSpec,
+    generate_relation,
+    make_sharded_engine,
+    serving_client_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_relation(SyntheticSpec(
+        num_tuples=1500, num_selection_dims=3, num_ranking_dims=2,
+        cardinality=6, seed=77))
+
+
+def make_engine(relation, num_shards=0):
+    """A grid-only stack, unsharded (0) or scatter/gather over N shards."""
+    if num_shards:
+        manager, engine = make_sharded_engine(
+            relation, num_shards, range_dim="A1", block_size=100,
+            with_signature=False, with_skyline=False)
+        return manager, engine
+    return None, Executor.for_relation(relation, block_size=100,
+                                       with_signature=False,
+                                       with_skyline=False)
+
+
+def mixed_workload():
+    f1 = LinearFunction(["N1", "N2"], [1.0, 2.0])
+    f2 = LinearFunction(["N1", "N2"], [3.0, 1.0])
+    queries = [TopKQuery(Predicate.of(), f, k)
+               for f in (f1, f2) for k in (1, 4, 9)]
+    queries += [TopKQuery(Predicate.of(A1=value), f1, 5) for value in range(3)]
+    queries.append(TopKQuery(Predicate.of(A1=1, A2=0), f2, 7))
+    return queries
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestMicroBatcher:
+    def request(self, clock):
+        # The batcher never touches the future, so unit tests can pass a
+        # placeholder instead of binding an event loop.
+        return QueuedRequest(query=object(), future=None,
+                             enqueued_at=clock())
+
+    def test_deadline_trigger_and_drain(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=8, max_linger=1.0,
+                               min_linger=0.25, clock=clock)
+        assert batcher.drain() == []
+        assert batcher.next_deadline() is None
+        first = self.request(clock)
+        batcher.append(first)
+        assert batcher.next_deadline() == 1.0
+        assert not batcher.due(0.5)
+        assert batcher.drain(0.5) == []
+        clock.t = 1.0
+        assert batcher.due()
+        assert batcher.drain() == [first]
+        assert len(batcher) == 0
+
+    def test_size_trigger_ignores_linger(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=3, max_linger=99.0, clock=clock)
+        requests = [self.request(clock) for _ in range(3)]
+        for request in requests:
+            batcher.append(request)
+        assert batcher.size_ready() and batcher.due(0.0)
+        assert batcher.drain(0.0) == requests
+
+    def test_drain_caps_at_max_batch_size(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=2, max_linger=99.0, clock=clock)
+        requests = [self.request(clock) for _ in range(5)]
+        for request in requests:
+            batcher.append(request)
+        assert batcher.drain(0.0) == requests[:2]
+        assert batcher.drain(0.0) == requests[2:4]
+        # One left: below the size trigger and before the deadline.
+        assert batcher.drain(0.0) == []
+        assert len(batcher) == 1
+
+    def test_linger_adapts_within_bounds(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=8, max_linger=1.0,
+                               min_linger=0.25, clock=clock)
+        # Deadline flush of a single request: sparse traffic, halve.
+        batcher.append(self.request(clock))
+        clock.t = 1.0
+        batcher.drain()
+        assert batcher.linger == 0.5
+        # Partial batch (2 of 8) on the deadline: grow back toward the cap.
+        for _ in range(2):
+            batcher.append(self.request(clock))
+        clock.t += 0.5
+        batcher.drain()
+        assert batcher.linger == 1.0
+        # Size-triggered flush: saturating traffic, halve again.
+        for _ in range(8):
+            batcher.append(self.request(clock))
+        batcher.drain()
+        assert batcher.linger == 0.5
+        # The floor holds no matter how many sparse flushes follow.
+        for _ in range(10):
+            batcher.append(self.request(clock))
+            clock.t += 99.0
+            batcher.drain()
+        assert batcher.linger == 0.25
+
+    def test_forced_drain_flushes_without_trigger(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=8, max_linger=99.0, clock=clock)
+        request = self.request(clock)
+        batcher.append(request)
+        linger_before = batcher.linger
+        assert batcher.drain(force=True) == [request]
+        # A forced (shutdown) flush does not distort the adaptation.
+        assert batcher.linger == linger_before
+
+
+class TestServingParity:
+    @pytest.mark.parametrize("num_shards", [0, 1, 2, 7])
+    def test_service_answers_match_direct_execute(self, relation, num_shards):
+        _, reference = make_engine(relation, num_shards)
+        _, engine = make_engine(relation, num_shards)
+        queries = mixed_workload()
+        expected = [reference.execute(query) for query in queries]
+
+        async def run():
+            config = ServiceConfig(max_linger=0.005, max_batch_size=64)
+            async with QueryService(engine, config) as service:
+                return await asyncio.gather(
+                    *(service.submit(query) for query in queries))
+
+        results = asyncio.run(run())
+        for alone, served in zip(expected, results):
+            assert alone.tids == served.tids
+            assert alone.scores == served.scores
+            assert served.extra["queue_wait"] >= 0.0
+            assert served.extra["batch_size"] >= 1.0
+            assert "fused_group_size" in served.extra
+
+    def test_full_stack_serves_skyline_and_topk(self, relation):
+        reference = Executor.for_relation(relation, block_size=100,
+                                          rtree_max_entries=16)
+        engine = Executor.for_relation(relation, block_size=100,
+                                       rtree_max_entries=16)
+        queries = [
+            SkylineQuery(Predicate.of(A1=1), ("N1", "N2")),
+            TopKQuery(Predicate.of(), sum_function(["N1", "N2"]), 4),
+        ]
+        expected = [reference.execute(query) for query in queries]
+
+        async def run():
+            async with QueryService(engine) as service:
+                return await service.submit_many(queries)
+
+        results = asyncio.run(run())
+        assert tuple(sorted(results[0].tids)) == tuple(sorted(expected[0].tids))
+        assert results[1].tids == expected[1].tids
+        assert results[1].scores == expected[1].scores
+
+    def test_concurrent_clients_fuse_through_one_tick(self, relation):
+        _, engine = make_engine(relation)
+        clients = serving_client_queries(relation, num_clients=6,
+                                         per_client=4)
+
+        async def run():
+            config = ServiceConfig(max_linger=0.05, max_batch_size=512)
+            async with QueryService(engine, config) as service:
+                gathered = await asyncio.gather(
+                    *(service.submit_many(stream) for stream in clients))
+                return gathered, service.stats_snapshot()
+
+        gathered, snap = asyncio.run(run())
+        # Every stream got one result per query, and the batcher fused
+        # same-function queries from different clients into shared sweeps.
+        assert [len(results) for results in gathered] == [4] * 6
+        assert snap["fused_queries"] > 0
+        assert snap["batches"] < snap["completed"]
+        fused_sizes = {result.extra["fused_group_size"]
+                       for results in gathered for result in results}
+        assert max(fused_sizes) > 1.0
+
+
+class TestFlushTriggers:
+    def test_flush_on_max_batch_size(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+        queries = [TopKQuery(Predicate.of(A1=value), function, 3)
+                   for value in range(4)]
+
+        async def run():
+            # The linger alone would park requests for 30 s; only the size
+            # trigger can flush, so batches of exactly 2 prove it fired.
+            config = ServiceConfig(max_batch_size=2, max_linger=30.0)
+            async with QueryService(engine, config) as service:
+                return await service.submit_many(queries)
+
+        results = asyncio.run(run())
+        assert [result.extra["batch_size"] for result in results] == [2.0] * 4
+
+    def test_flush_on_linger_deadline(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+        queries = [TopKQuery(Predicate.of(A1=value), function, 3)
+                   for value in range(3)]
+
+        async def run():
+            # Far below the size trigger: only the deadline can flush.
+            config = ServiceConfig(max_batch_size=512, max_linger=0.01)
+            async with QueryService(engine, config) as service:
+                return await service.submit_many(queries)
+
+        results = asyncio.run(run())
+        assert [result.extra["batch_size"] for result in results] == [3.0] * 3
+        assert all(result.extra["queue_wait"] >= 0.009 for result in results)
+
+
+class TestAdmissionAndDeadlines:
+    def test_overload_rejects_beyond_high_water_mark(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+
+        async def run():
+            config = ServiceConfig(max_pending=2, max_batch_size=512,
+                                   max_linger=30.0)
+            async with QueryService(engine, config) as service:
+                first = asyncio.ensure_future(
+                    service.submit(TopKQuery(Predicate.of(A1=0), function, 3)))
+                second = asyncio.ensure_future(
+                    service.submit(TopKQuery(Predicate.of(A1=1), function, 3)))
+                await asyncio.sleep(0)
+                with pytest.raises(ServiceOverloadedError):
+                    await service.submit(TopKQuery(Predicate.of(A1=2),
+                                                   function, 3))
+                snap = service.stats_snapshot()
+                assert snap["rejected"] == 1.0
+                assert snap["pending"] == 2.0
+                # Graceful close executes what was admitted.
+                close_task = asyncio.ensure_future(service.close())
+                results = await asyncio.gather(first, second)
+                await close_task
+                return results, service.stats_snapshot()
+
+        (first, second), snap = asyncio.run(run())
+        assert len(first.tids) == 3 and len(second.tids) == 3
+        assert snap["completed"] == 2.0
+
+    def test_submit_many_overload_abandons_partial_batch(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+        queries = [TopKQuery(Predicate.of(A1=value), function, 3)
+                   for value in range(4)]
+
+        async def run():
+            config = ServiceConfig(max_pending=2, max_batch_size=512,
+                                   max_linger=30.0)
+            async with QueryService(engine, config) as service:
+                with pytest.raises(ServiceOverloadedError):
+                    await service.submit_many(queries)
+                return service.stats_snapshot()
+
+        snap = asyncio.run(run())
+        # The two admitted requests were cancelled, not executed.
+        assert snap["rejected"] == 1.0
+        assert snap["completed"] == 0.0
+
+    def test_per_request_timeout(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+
+        async def run():
+            config = ServiceConfig(max_batch_size=512, max_linger=30.0)
+            async with QueryService(engine, config) as service:
+                with pytest.raises(RequestTimeoutError):
+                    await service.submit(
+                        TopKQuery(Predicate.of(A1=0), function, 3),
+                        timeout=0.02)
+                timed_out = service.stats_snapshot()["timed_out"]
+                # The service keeps serving after the timeout.
+                live = await service.submit(
+                    TopKQuery(Predicate.of(A1=1), function, 3), timeout=None)
+                return timed_out, live
+
+        timed_out, live = asyncio.run(run())
+        assert timed_out == 1.0
+        assert len(live.tids) == 3
+
+    def test_cancelled_request_is_dropped_at_drain(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+
+        async def run():
+            config = ServiceConfig(max_batch_size=512, max_linger=0.05)
+            async with QueryService(engine, config) as service:
+                doomed = asyncio.ensure_future(service.submit(
+                    TopKQuery(Predicate.of(A1=0), function, 3)))
+                survivor_future = asyncio.ensure_future(service.submit(
+                    TopKQuery(Predicate.of(A1=1), function, 3)))
+                await asyncio.sleep(0)
+                doomed.cancel()
+                survivor = await survivor_future
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+                return survivor, service.stats_snapshot()
+
+        survivor, snap = asyncio.run(run())
+        assert snap["cancelled"] == 1.0
+        # The cancelled request never reached the engine: the dispatched
+        # batch carried only the survivor.
+        assert survivor.extra["batch_size"] == 1.0
+        assert snap["batched_requests"] == 1.0
+
+    def test_cancellation_mid_flight_is_counted(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+        original = engine.execute_many
+        started = threading.Event()
+
+        def slow_execute_many(batch):
+            started.set()
+            time.sleep(0.05)
+            return original(batch)
+
+        engine.execute_many = slow_execute_many
+
+        async def run():
+            config = ServiceConfig(max_linger=0.0)
+            async with QueryService(engine, config) as service:
+                task = asyncio.ensure_future(service.submit(
+                    TopKQuery(Predicate.of(A1=0), function, 3)))
+                # Block (off-loop) until the batch is inside the engine,
+                # then abandon the request mid-flight.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, started.wait)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+            return service.stats_snapshot()
+
+        snap = asyncio.run(run())
+        assert snap["cancelled"] == 1.0
+        assert snap["completed"] == 0.0
+        assert snap["batched_requests"] == 1.0
+
+    def test_closed_service_rejects_submissions(self, relation):
+        _, engine = make_engine(relation)
+        query = TopKQuery(Predicate.of(A1=0), sum_function(["N1", "N2"]), 3)
+
+        async def run():
+            service = QueryService(engine)
+            with pytest.raises(ServiceClosedError):
+                await service.submit(query)  # never started
+            async with service:
+                await service.submit(query)
+            with pytest.raises(ServiceClosedError):
+                await service.submit(query)  # closed
+            with pytest.raises(ServiceClosedError):
+                await service.insert({"A1": 0})
+
+        asyncio.run(run())
+
+
+class TestBackendLimits:
+    def test_backend_semaphore_serializes_batches(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+        queries = [TopKQuery(Predicate.of(A1=value), function, 3)
+                   for value in range(4)]
+        active = {"now": 0, "peak": 0}
+        original = engine.execute_many
+
+        def instrumented(batch):
+            active["now"] += 1
+            active["peak"] = max(active["peak"], active["now"])
+            try:
+                return original(batch)
+            finally:
+                active["now"] -= 1
+
+        engine.execute_many = instrumented
+
+        async def run():
+            # Four size-1 batches race through an engine allowed 4-wide,
+            # but every batch routes to the same backend, whose limit is 1.
+            config = ServiceConfig(max_batch_size=1, max_linger=30.0,
+                                   engine_concurrency=4,
+                                   backend_limits={"ranking-cube": 1,
+                                                   "table-scan": 1})
+            async with QueryService(engine, config) as service:
+                return await service.submit_many(queries)
+
+        results = asyncio.run(run())
+        assert len(results) == 4
+        assert active["peak"] == 1
+
+    def test_scatter_engine_routes_to_scatter_gather(self, relation):
+        manager, engine = make_engine(relation, num_shards=2)
+        assert engine.plan_backends(mixed_workload()) == {"scatter-gather"}
+        assert engine.plan_backends([]) == set()
+
+
+class TestWritePath:
+    def test_insert_between_queue_and_drain_is_not_stale(self, relation):
+        # The write-serialization contract: a row inserted after a query
+        # was queued but before its batch drained must be visible to that
+        # query — the predicate-aware invalidation may not serve the
+        # pre-insert cached answer.
+        mutable = generate_relation(SyntheticSpec(
+            num_tuples=900, num_selection_dims=3, num_ranking_dims=2,
+            cardinality=6, seed=78))
+        manager, engine = make_sharded_engine(
+            mutable, 3, range_dim="A1", block_size=80,
+            with_signature=False, with_skyline=False)
+        function = sum_function(["N1", "N2"])
+        hot = TopKQuery(Predicate.of(A1=4), function, 5)
+        cold = TopKQuery(Predicate.of(A1=1), function, 5)
+        row = {"A1": 1, "A2": 0, "A3": 0, "N1": -9.0, "N2": -9.0}
+
+        async def run():
+            config = ServiceConfig(max_batch_size=512, max_linger=0.05)
+            async with QueryService(engine, config) as service:
+                # Warm the result cache for both predicates.
+                await service.submit_many([hot, cold])
+                # Queue the cold query again, then mutate while it lingers.
+                queued = asyncio.ensure_future(service.submit(cold))
+                await asyncio.sleep(0)
+                new_tid = await service.insert(row)
+                result = await queued
+                hot_again = await service.submit(hot)
+                return new_tid, result, hot_again
+
+        new_tid, result, hot_again = asyncio.run(run())
+        assert new_tid == 900
+        # The queued query re-executed against the post-insert data...
+        assert result.extra.get("result_cache") != "hit"
+        assert result.tids[0] == new_tid
+        # ...while the provably-unaffected predicate stayed cached.
+        assert hot_again.extra["result_cache"] == "hit"
+
+    def test_insert_waits_for_inflight_batches(self, relation):
+        mutable = generate_relation(SyntheticSpec(
+            num_tuples=600, num_selection_dims=3, num_ranking_dims=2,
+            cardinality=6, seed=79))
+        manager, engine = make_sharded_engine(
+            mutable, 2, range_dim="A1", block_size=80,
+            with_signature=False, with_skyline=False)
+        function = sum_function(["N1", "N2"])
+        order = []
+        original = engine.execute_many
+
+        def slow_execute_many(batch):
+            order.append("engine-start")
+            result = original(batch)
+            order.append("engine-end")
+            return result
+
+        engine.execute_many = slow_execute_many
+
+        async def run():
+            config = ServiceConfig(max_linger=0.0, max_batch_size=512)
+            async with QueryService(engine, config) as service:
+                submitted = asyncio.ensure_future(service.submit(
+                    TopKQuery(Predicate.of(), function, 3)))
+                # Let the batch reach the engine, then race an insert.
+                while not order:
+                    await asyncio.sleep(0.001)
+                order.append("insert-requested")
+                tid = await service.insert(
+                    {"A1": 0, "A2": 0, "A3": 0, "N1": 0.0, "N2": 0.0})
+                order.append("insert-done")
+                await submitted
+                return tid
+
+        asyncio.run(run())
+        # The insert could not slot in before the in-flight batch finished.
+        assert order.index("engine-end") < order.index("insert-done")
+
+    def test_reshard_through_service_keeps_answers(self, relation):
+        from repro.shard import HashShardingPolicy
+
+        mutable = generate_relation(SyntheticSpec(
+            num_tuples=700, num_selection_dims=3, num_ranking_dims=2,
+            cardinality=6, seed=80))
+        manager, engine = make_sharded_engine(
+            mutable, 3, range_dim="A1", block_size=80,
+            with_signature=False, with_skyline=False)
+        reference = Executor.for_relation(mutable, block_size=80,
+                                          with_signature=False,
+                                          with_skyline=False)
+        queries = mixed_workload()
+        expected = [reference.execute(query) for query in queries]
+
+        async def run():
+            async with QueryService(engine,
+                                    ServiceConfig(max_linger=0.005)) as service:
+                before = await service.submit_many(queries)
+                await service.reshard(HashShardingPolicy(2))
+                after = await service.submit_many(queries)
+                return before, after
+
+        before, after = asyncio.run(run())
+        for alone, first, second in zip(expected, before, after):
+            assert alone.tids == first.tids == second.tids
+            assert alone.scores == first.scores == second.scores
+
+    def test_unsharded_service_has_no_reshard(self, relation):
+        _, engine = make_engine(relation)
+
+        async def run():
+            async with QueryService(engine, relation=relation) as service:
+                with pytest.raises(ServeError, match="ShardManager"):
+                    await service.reshard(object())
+
+        asyncio.run(run())
+
+
+class TestStatsViews:
+    def test_merged_scatter_cache_stats(self, relation):
+        manager, engine = make_engine(relation, num_shards=3)
+        queries = mixed_workload()
+        engine.execute_many(queries)
+        engine.execute_many(queries)  # repeats: front-door hits
+        stats = engine.cache_stats()
+        # Front-door result cache, per-shard sums, and fusion counters all
+        # come from the one merged mapping.
+        assert stats["result_hits"] >= float(len(queries))
+        assert stats["fused_groups"] >= 2.0
+        assert stats["fused_queries"] >= 6.0
+        assert stats["shards_built"] == 3.0
+        built = manager.built_executors()
+        assert len(built) == 3
+        for summed, source in (("hits", "hits"), ("misses", "misses"),
+                               ("entries", "entries"),
+                               ("plans_reused", "plans_reused"),
+                               ("shard_fused_queries", "fused_queries"),
+                               ("shard_result_hits", "result_hits")):
+            assert stats[summed] == sum(
+                executor.cache_stats()[source] for executor in built.values())
+        lookups = stats["hits"] + stats["misses"]
+        assert stats["hit_rate"] == (stats["hits"] / lookups if lookups
+                                     else 0.0)
+
+    def test_lazily_pruned_shards_stay_unbuilt_in_stats(self, relation):
+        manager, engine = make_engine(relation, num_shards=3)
+        function = sum_function(["N1", "N2"])
+        # Range shards on A1: one single-value predicate touches one shard.
+        engine.execute(TopKQuery(Predicate.of(A1=0), function, 3))
+        stats = engine.cache_stats()
+        assert stats["shards_built"] == 1.0
+
+    def test_service_snapshot_merges_engine_and_service(self, relation):
+        _, engine = make_engine(relation)
+        queries = mixed_workload()
+
+        async def run():
+            async with QueryService(engine,
+                                    ServiceConfig(max_linger=0.005)) as service:
+                await service.submit_many(queries)
+                await service.submit_many(queries)  # cache hits
+                return service.stats_snapshot()
+
+        snap = asyncio.run(run())
+        assert snap["submitted"] == float(2 * len(queries))
+        assert snap["completed"] == float(2 * len(queries))
+        for key in ("throughput_qps", "latency_p50", "latency_p99",
+                    "queue_wait_p50", "mean_batch_size", "fusion_rate",
+                    "current_linger", "pending", "result_hits",
+                    "fused_queries", "hit_rate"):
+            assert key in snap
+        assert snap["pending"] == 0.0
+        assert snap["result_hits"] >= float(len(queries) - 1)
+        assert 0.0 <= snap["fusion_rate"] <= 1.0
+
+    def test_percentile_nearest_rank(self):
+        from repro.serve import percentile
+
+        assert percentile([], 50) == 0.0
+        # Nearest rank: ceil(q/100 * n), never rounded half-to-even.
+        assert percentile([1.0, 2.0], 50) == 1.0
+        assert percentile([6.0, 5.0, 4.0, 3.0, 2.0, 1.0], 50) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 99) == 4.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 25) == 1.0
+
+    def test_fusion_rate_excludes_pre_service_engine_use(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+        # Fusion the engine did *before* the service attached...
+        engine.execute_many([TopKQuery(Predicate.of(), function, k)
+                             for k in (2, 5, 8)])
+        assert engine.cache_stats()["fused_queries"] == 3.0
+
+        async def run():
+            async with QueryService(engine) as service:
+                # ...must not leak into the service's rate: these two
+                # requests use distinct functions, so nothing fuses.
+                await service.submit_many([
+                    TopKQuery(Predicate.of(A1=0),
+                              LinearFunction(["N1"], [1.0]), 3),
+                    TopKQuery(Predicate.of(A1=1),
+                              LinearFunction(["N2"], [1.0]), 3),
+                ])
+                return service.stats_snapshot()
+
+        snap = asyncio.run(run())
+        assert snap["fusion_rate"] == 0.0
+        assert snap["fused_queries"] == 3.0  # lifetime counter untouched
+
+    def test_ensure_pool_grows_for_front_door_reserve(self, relation):
+        # A scatter pool created before the serving layer attaches must be
+        # replaced by one large enough for the reserve — a same-size pool
+        # would let front-door calls occupy every worker and deadlock the
+        # legs they wait on.
+        manager, engine = make_engine(relation, num_shards=2)
+        small = engine.ensure_pool()
+        assert small._max_workers == 2
+        grown = engine.ensure_pool(reserve=2)
+        assert grown is not small
+        assert grown._max_workers == 4
+        # Idempotent once large enough.
+        assert engine.ensure_pool(reserve=2) is grown
+        assert engine.ensure_pool() is grown
+
+    def test_service_survives_engine_pool_growth(self, relation):
+        # A second caller growing the engine pool mid-service replaces the
+        # pool the service started on; dispatches re-fetch the current
+        # pool, so requests keep completing.
+        manager, engine = make_engine(relation, num_shards=2)
+        function = sum_function(["N1", "N2"])
+
+        async def run():
+            async with QueryService(engine) as service:
+                first = await service.submit(
+                    TopKQuery(Predicate.of(), function, 3))
+                engine.ensure_pool(reserve=8)
+                second = await service.submit(
+                    TopKQuery(Predicate.of(), function, 5))
+                return first, second
+
+        first, second = asyncio.run(run())
+        assert len(first.tids) == 3
+        assert len(second.tids) == 5
+
+    def test_config_validation(self):
+        with pytest.raises(ServeError):
+            ServiceConfig(max_batch_size=0)
+        with pytest.raises(ServeError):
+            ServiceConfig(min_linger=2.0, max_linger=1.0)
+        with pytest.raises(ServeError):
+            ServiceConfig(engine_concurrency=0)
+        with pytest.raises(ServeError):
+            ServiceConfig(backend_limits={"ranking-cube": 0})
+        with pytest.raises(ServeError):
+            ServiceConfig(default_timeout=0.0)
