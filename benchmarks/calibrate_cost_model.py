@@ -15,6 +15,14 @@ the emitted constants to their executor::
 Run directly (``--quick`` for a smaller relation)::
 
     PYTHONPATH=src python benchmarks/calibrate_cost_model.py --quick
+
+With ``--metrics path/to/metrics.json`` the tool additionally reads a
+metrics snapshot (e.g. the JSON ``python -m repro serve`` prints on
+shutdown, or ``Executor.metrics_snapshot()`` dumped by an operator) and
+summarizes the per-backend cost-feedback counters the executor maintains
+— which backends' estimates drifted >4x from the tuples actually
+evaluated — so calibration effort goes where the production misestimates
+are.
 """
 
 from __future__ import annotations
@@ -52,7 +60,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="relation size override (the test suite smokes "
                              "the tool at tiny N; measured constants are "
                              "only meaningful at the default sizes)")
+    parser.add_argument("--metrics", default=None,
+                        help="path to a metrics-snapshot JSON (from "
+                             "'python -m repro serve' or "
+                             "Executor.metrics_snapshot()); summarizes its "
+                             "per-backend planner misestimation counters "
+                             "before calibrating")
     args = parser.parse_args(argv)
+
+    if args.metrics:
+        import json
+
+        from repro.obs import misestimation_report
+
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        print(misestimation_report(snapshot))
+        print()
 
     num_tuples = args.tuples or (8000 if args.quick else 40000)
     relation = generate_relation(SyntheticSpec(

@@ -6,7 +6,9 @@ micro-batcher drains each tick into one fused ``execute_many`` call — so
 clients that happen to rank by the same function share a single frontier
 sweep without knowing about each other.  The write path is serialized:
 an ``insert`` drains the in-flight batches before mutating, and only the
-cached answers the new row can affect are dropped.
+cached answers the new row can affect are dropped.  Tracing is enabled
+with a slow-query threshold, so the service keeps a log of the slowest
+batches with their full span trees (printed at the end).
 
 Run with ``python examples/serving_concurrent_clients.py`` from the
 repository root.
@@ -45,9 +47,13 @@ async def main() -> None:
 
     # 2. The service: flush a batch at 64 pending requests or once the
     #    oldest has lingered 5 ms, whichever comes first; reject new work
-    #    beyond 512 queued; give every request a 5 s deadline.
+    #    beyond 512 queued; give every request a 5 s deadline.  Tracing is
+    #    on with a slow-query threshold: any batch whose root span takes
+    #    1 ms or longer lands in the slow-query log with its full span
+    #    tree (threshold deliberately low so the demo catches some).
     config = ServiceConfig(max_batch_size=64, max_linger=0.005,
-                           max_pending=512, default_timeout=5.0)
+                           max_pending=512, default_timeout=5.0,
+                           tracing=True, slow_query_threshold=0.001)
     async with QueryService(engine, config, manager=manager) as service:
         # 3. Eight concurrent clients, each with its own query stream over
         #    two shared ranking functions.
@@ -80,6 +86,19 @@ async def main() -> None:
               f"{snap['latency_p99'] * 1000:.2f} ms; "
               f"fusion rate {snap['fusion_rate']:.2f}; "
               f"result-cache hits {snap['result_hits']:.0f}")
+
+        # 6. The slow-query log: every dispatched batch whose root span
+        #    met the threshold, slowest first, with its span tree intact.
+        slow = sorted(service.slow_queries(),
+                      key=lambda trace: trace.duration, reverse=True)
+        print(f"slow-query log: {len(slow)} batches at or over "
+              f"{config.slow_query_threshold * 1000:.0f} ms")
+        for trace in slow[:3]:
+            root = trace.root
+            batch_size = root.attrs.get("batch_size", "?")
+            print(f"  {root.name}  {trace.duration * 1000:.2f} ms  "
+                  f"batch_size={batch_size}  "
+                  f"spans={len(trace.spans)}")
 
 
 if __name__ == "__main__":

@@ -15,13 +15,23 @@ Commands
 ``serve [--shards N] [--clients C] [--queries Q] [--linger MS]``
     Start an async :class:`~repro.serve.QueryService` over the engine and
     drive C concurrent clients of Q queries each through it, then print
-    the serving statistics (throughput, latency percentiles, batch and
-    fusion rates) — a demo of the request queue + adaptive micro-batcher.
+    the merged metrics-registry snapshot (``serve.*`` + ``shard.*`` +
+    ``engine.*`` counters, gauges, and latency percentiles) as JSON — a
+    demo of the request queue + adaptive micro-batcher.
+``analyze [--shards N] [--k K] [--direct]``
+    EXPLAIN ANALYZE one top-k query: run it traced and render the span
+    tree — queue wait, plan (with per-backend cost estimates), scatter
+    legs, fused sweep, gather — with estimated cost vs. actual tuples
+    per backend.  By default the query is served through a
+    :class:`~repro.serve.QueryService` alongside fusable peer queries so
+    the tree shows batching and the shared frontier sweep; ``--direct``
+    calls ``explain_analyze`` on the engine itself instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -144,21 +154,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         async with service:
             await asyncio.gather(*(service.submit_many(stream)
                                    for stream in clients))
-            return service.stats_snapshot()
+            return service.metrics_snapshot()
 
     snap = asyncio.run(run())
     total = args.clients * args.queries
     print(f"served {total} queries from {args.clients} concurrent clients")
-    print(f"throughput: {snap['throughput_qps']:.0f} q/s, "
-          f"latency p50/p99: {snap['latency_p50'] * 1000:.2f}/"
-          f"{snap['latency_p99'] * 1000:.2f} ms, "
-          f"queue wait p50: {snap['queue_wait_p50'] * 1000:.2f} ms")
-    print(f"batches: {snap['batches']:.0f} "
-          f"(mean size {snap['mean_batch_size']:.1f}), "
-          f"fused queries: {snap['fused_queries']:.0f} "
-          f"(fusion rate {snap['fusion_rate']:.2f})")
-    print(f"result cache: {snap['result_hits']:.0f} hits / "
-          f"{snap['result_misses']:.0f} misses")
+    print("metrics (merged across serve, shards, engine):")
+    print(json.dumps(snap, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.engine import Executor
+    from repro.functions import LinearFunction
+    from repro.query import Predicate, TopKQuery
+    from repro.serve import QueryService, ServiceConfig
+    from repro.workloads import SyntheticSpec, generate_relation, make_sharded_engine
+
+    relation = generate_relation(SyntheticSpec(
+        num_tuples=5000, num_selection_dims=3, num_ranking_dims=2,
+        cardinality=10))
+    function = LinearFunction(["N1", "N2"], [1.0, 1.0])
+    target = TopKQuery(Predicate.of(A1=1, A2=2), function, args.k)
+    if args.shards > 1:
+        manager, engine = make_sharded_engine(
+            relation, args.shards, range_dim="A1", block_size=200,
+            with_signature=False, with_skyline=False)
+        print(f"engine: scatter/gather over {args.shards} range shards on A1")
+    else:
+        manager = None
+        engine = Executor.for_relation(relation, block_size=200,
+                                       with_signature=False,
+                                       with_skyline=False)
+        print("engine: unsharded")
+    print(f"query: top-{args.k} for A1=1 and A2=2 order by N1+N2")
+    if args.direct:
+        print(engine.explain_analyze(target))
+        return 0
+
+    # Serve the analyzed query alongside same-function peers so the trace
+    # shows the micro-batcher's queue wait and the fused frontier sweep.
+    peers = [TopKQuery(Predicate.of(A1=value), function, 3)
+             for value in (0, 1, 2)]
+    config = ServiceConfig(max_batch_size=16, max_linger=0.05)
+
+    async def run() -> str:
+        service = QueryService(engine, config, manager=manager,
+                               relation=relation)
+        async with service:
+            others = [asyncio.ensure_future(service.submit(peer))
+                      for peer in peers]
+            text = await service.explain_analyze(target)
+            await asyncio.gather(*others)
+            return text
+
+    print(asyncio.run(run()))
     return 0
 
 
@@ -200,6 +252,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batcher max linger in milliseconds "
                             "(default: 5)")
     serve.set_defaults(handler=_cmd_serve)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="EXPLAIN ANALYZE one served top-k query as a span tree")
+    analyze.add_argument("--shards", type=int, default=3,
+                         help="scatter/gather over N range shards "
+                              "(<=1: unsharded; default: 3)")
+    analyze.add_argument("--k", type=int, default=5,
+                         help="result size of the analyzed query "
+                              "(default: 5)")
+    analyze.add_argument("--direct", action="store_true",
+                         help="call explain_analyze on the engine itself "
+                              "instead of serving the query through the "
+                              "micro-batcher")
+    analyze.set_defaults(handler=_cmd_analyze)
     return parser
 
 

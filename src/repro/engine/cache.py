@@ -104,7 +104,10 @@ class LowerBoundCache:
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._bounds)
+        # Metrics snapshots size the cache from other threads; take the
+        # lock so the read never races an eviction sweep mid-resize.
+        with self._lock:
+            return len(self._bounds)
 
 
 def _function_key(function) -> Optional[Tuple[object, ...]]:
@@ -336,4 +339,7 @@ class ResultCache:
             ])
 
     def __len__(self) -> int:
-        return len(self._results)
+        # Locked for the same reason as the stats() block: snapshot
+        # threads size the cache while batches mutate it.
+        with self._lock:
+            return len(self._results)

@@ -9,8 +9,11 @@ ranking function never re-derives a block bound.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.query import TopKQuery
 from repro.storage.table import Relation
 
@@ -54,7 +57,9 @@ class Executor:
                  bound_cache: Optional[LowerBoundCache] = None,
                  result_cache: Optional[ResultCache] = None,
                  cost_model: Optional[CostModel] = None,
-                 planner_mode: str = MODE_COST) -> None:
+                 planner_mode: str = MODE_COST,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None) -> None:
         self.registry = registry or EngineRegistry()
         self.statistics = StatisticsCatalog()
         self.planner = planner or Planner(self.registry,
@@ -69,6 +74,18 @@ class Executor:
         self._cache_scope = new_cache_scope()
         self._watched_relations: List[Relation] = []
         self._watched_versions: Dict[int, int] = {}
+        #: Where engine.* counters/histograms publish; shareable with the
+        #: serving layer so one registry covers the whole stack.
+        self.metrics = metrics or MetricsRegistry()
+        #: Off by default: the null tracer's spans are no-op singletons.
+        self.tracer = tracer or NULL_TRACER
+        self._m_queries = self.metrics.counter("engine.queries")
+        self._m_batches = self.metrics.counter("engine.batches")
+        self._m_tuples = self.metrics.counter("engine.tuples_evaluated")
+        self._m_latency = self.metrics.histogram("engine.latency_seconds")
+        # Per-backend cost-feedback counters, created on first costed
+        # execution (dict lookup on the hot path, no string formatting).
+        self._cost_feedback: Dict[str, Tuple] = {}
 
     # ------------------------------------------------------------------
     # registration
@@ -111,7 +128,7 @@ class Executor:
             names.add(self.planner.plan(query).backend)
         return names
 
-    def execute(self, query):
+    def execute(self, query, *, parent_span=None, use_result_cache=True):
         """Plan ``query``, run it on the chosen backend, annotate the result.
 
         Results of cacheable queries (top-k and skyline) are memoized in
@@ -120,26 +137,98 @@ class Executor:
         same ``k`` — returns the cached answer without planning or
         execution (``extra["result_cache"]`` says which happened).  Cached
         results keep the statistics of the run that produced them.
+
+        ``parent_span`` threads an enabled trace through (the span tree
+        gains ``engine.execute`` → ``engine.plan`` / ``engine.run``
+        children); without one the executor's own :attr:`tracer` roots
+        the trace — the null object when tracing is off.
+        ``use_result_cache=False`` bypasses lookup *and* store, the
+        ``explain_analyze`` contract: the rendered plan and execution
+        really happened, and the run leaves no cache residue behind.
         """
-        key = query_cache_key(query)
-        if key is not None:
-            key = (self._cache_scope,) + key
+        span = (parent_span.child("engine.execute")
+                if parent_span is not None
+                else self.tracer.trace("engine.execute"))
+        started = time.perf_counter()
+        self._m_queries.inc()
+        try:
             if self._watched_mutated():
                 self.result_cache.invalidate()
                 self.statistics.invalidate()
-            hit = self.result_cache.lookup(key)
-            if hit is not None:
-                return hit
-        plan = self.planner.plan(query)
-        backend = self.registry.get(plan.backend)
-        result = backend.run(query)
-        result.extra["backend"] = plan.backend
-        result.extra["plan"] = plan.describe()
-        if key is not None:
-            self.result_cache.store(key, result)
-        return result
+            key = query_cache_key(query) if use_result_cache else None
+            if key is not None:
+                key = (self._cache_scope,) + key
+                hit = self.result_cache.lookup(key)
+                if hit is not None:
+                    span.set("result_cache", "hit")
+                    return hit
+            plan = self._plan_traced(query, span)
+            backend = self.registry.get(plan.backend)
+            run_span = span.child("engine.run").set("backend", plan.backend)
+            result = backend.run(query)
+            actual = float(getattr(result, "tuples_evaluated", 0))
+            run_span.set("tuples_evaluated", actual).finish()
+            self._m_tuples.inc(actual)
+            self._record_cost_feedback(plan, actual)
+            result.extra["backend"] = plan.backend
+            result.extra["plan"] = plan.describe()
+            if key is not None:
+                self.result_cache.store(key, result)
+            return result
+        finally:
+            self._m_latency.observe(time.perf_counter() - started)
+            span.finish()
 
-    def execute_many(self, queries: Iterable) -> List:
+    def _plan_traced(self, query, span) -> QueryPlan:
+        """Plan under an ``engine.plan`` child span carrying the evidence."""
+        plan_span = span.child("engine.plan")
+        try:
+            plan = self.planner.plan(query)
+        finally:
+            plan_span.finish()
+        if plan_span:
+            plan_span.set("backend", plan.backend).set("mode", plan.mode)
+            if plan.estimates:
+                # Stored structured; the explain renderer formats pair
+                # tuples lazily, keeping float formatting off the hot path.
+                plan_span.set("cost_estimates", plan.estimates)
+            estimated = plan.details.get("estimated_cost")
+            if estimated is not None:
+                plan_span.set("estimated_cost", float(estimated))
+        return plan
+
+    def _record_cost_feedback(self, plan: QueryPlan, actual: float) -> None:
+        """Feed estimated-vs-actual into the per-backend planner counters.
+
+        ``planner.misestimates.<backend>`` counts executions whose actual
+        tuple count and estimated cost disagree by more than 4x in either
+        direction — the signal ``calibrate_cost_model.py --metrics``
+        turns into a per-backend drift report.  Statically planned
+        queries carry no estimate and record nothing.
+        """
+        estimated = plan.details.get("estimated_cost")
+        if estimated is None:
+            return
+        counters = self._cost_feedback.get(plan.backend)
+        if counters is None:
+            name = plan.backend
+            counters = (
+                self.metrics.counter(f"planner.costed_queries.{name}"),
+                self.metrics.counter(f"planner.estimated_cost_total.{name}"),
+                self.metrics.counter(f"planner.actual_tuples_total.{name}"),
+                self.metrics.counter(f"planner.misestimates.{name}"),
+            )
+            self._cost_feedback[plan.backend] = counters
+        costed, est_total, actual_total, misses = counters
+        costed.inc()
+        est_total.inc(float(estimated))
+        actual_total.inc(actual)
+        high = max(float(estimated), actual, 1.0)
+        low = max(min(float(estimated), actual), 1.0)
+        if high / low > 4.0:
+            misses.inc()
+
+    def execute_many(self, queries: Iterable, *, parent_span=None) -> List:
         """Execute a batch of queries, fusing shared work across the batch.
 
         Results come back in submission order.  Cached queries are served
@@ -161,65 +250,113 @@ class Executor:
         of fused results is the query's attributed share of the shared
         work, so summing a batch never double-counts a tuple the sweep
         scored once.
+
+        ``parent_span`` threads an enabled trace through exactly as in
+        :meth:`execute`; the batch's tree gains ``engine.plan`` children
+        per planned unit and one ``engine.fused_sweep`` (with
+        ``attributed_shares``) or ``engine.run`` child per group.
         """
         queries = list(queries)
         if not queries:
             return []
-        if self._watched_mutated():
-            self.result_cache.invalidate()
-            self.statistics.invalidate()
-        results, units, unit_index, followers = partition_batch(
-            queries, self._cache_scope, self.result_cache)
+        span = (parent_span.child("engine.execute_many")
+                if parent_span is not None
+                else self.tracer.trace("engine.execute_many"))
+        started = time.perf_counter()
+        self._m_batches.inc()
+        self._m_queries.inc(float(len(queries)))
+        try:
+            if span:
+                span.set("batch_size", len(queries))
+            if self._watched_mutated():
+                self.result_cache.invalidate()
+                self.statistics.invalidate()
+            results, units, unit_index, followers = partition_batch(
+                queries, self._cache_scope, self.result_cache)
 
-        plans = [self.planner.plan(query) for _, query, _ in units]
-        groups: Dict[tuple, List[int]] = {}
-        for position, (_, query, _) in enumerate(units):
-            if isinstance(query, TopKQuery):
-                group_key = (plans[position].backend,
-                             function_fuse_key(query.function))
-            else:
-                group_key = ("ungrouped", position)
-            groups.setdefault(group_key, []).append(position)
-
-        for members in groups.values():
-            backend = self.registry.get(plans[members[0]].backend)
-            if len(members) > 1:
-                group_results = backend.execute_batch(
-                    [units[position][1] for position in members])
-                if backend.supports_fusion:
-                    self.fused_groups += 1
-                    self.fused_queries += len(members)
-                    fused_size = len(members)
+            plans = [self._plan_traced(query, span)
+                     for _, query, _ in units]
+            groups: Dict[tuple, List[int]] = {}
+            for position, (_, query, _) in enumerate(units):
+                if isinstance(query, TopKQuery):
+                    group_key = (plans[position].backend,
+                                 function_fuse_key(query.function))
                 else:
-                    # The default execute_batch is a per-query loop: no work
-                    # was shared, so do not report a fused group.
+                    group_key = ("ungrouped", position)
+                groups.setdefault(group_key, []).append(position)
+
+            for members in groups.values():
+                backend = self.registry.get(plans[members[0]].backend)
+                if len(members) > 1:
+                    if backend.supports_fusion:
+                        group_span = (span.child("engine.fused_sweep")
+                                      .set("backend", backend.name)
+                                      .set("group_size", len(members)))
+                    else:
+                        group_span = (span.child("engine.run_batch")
+                                      .set("backend", backend.name))
+                    group_results = backend.execute_batch(
+                        [units[position][1] for position in members])
+                    if backend.supports_fusion:
+                        self.fused_groups += 1
+                        self.fused_queries += len(members)
+                        fused_size = len(members)
+                        if group_span:
+                            # The per-member shares of the one shared
+                            # sweep: summing them never double-counts a
+                            # tuple the sweep scored once.
+                            shares = [float(getattr(r, "tuples_evaluated", 0))
+                                      for r in group_results]
+                            group_span.set("tuples_evaluated", sum(shares))
+                            group_span.set("attributed_shares",
+                                           tuple(shares))
+                    else:
+                        # The default execute_batch is a per-query loop: no
+                        # work was shared, so do not report a fused group.
+                        fused_size = 1
+                        if group_span:
+                            group_span.set("tuples_evaluated", sum(
+                                float(getattr(r, "tuples_evaluated", 0))
+                                for r in group_results))
+                    group_span.finish()
+                else:
+                    backend_name = plans[members[0]].backend
+                    run_span = (span.child("engine.run")
+                                .set("backend", backend_name))
+                    group_results = [backend.run(units[members[0]][1])]
+                    run_span.set("tuples_evaluated", float(getattr(
+                        group_results[0], "tuples_evaluated", 0))).finish()
                     fused_size = 1
-            else:
-                group_results = [backend.run(units[members[0]][1])]
-                fused_size = 1
-            for position, result in zip(members, group_results):
-                i, _, key = units[position]
-                self._finish_batch_result(result, plans[position], key,
-                                          fused_size)
-                results[i] = result
+                for position, result in zip(members, group_results):
+                    i, _, key = units[position]
+                    self._finish_batch_result(result, plans[position], key,
+                                              fused_size)
+                    results[i] = result
 
-        batch_plans_reused = 0
-        for i, query, key in followers:
-            hit = self.result_cache.lookup(key)
-            if hit is None:
-                # A cache that refuses to retain results (or evicted the
-                # entry already): mirror the looped path — reuse the
-                # hoisted plan and re-execute.
-                self.plans_reused += 1
-                batch_plans_reused += 1
-                plan = plans[unit_index[key]]
-                hit = self.registry.get(plan.backend).run(query)
-                self._finish_batch_result(hit, plan, key, 1)
-            results[i] = hit
+            batch_plans_reused = 0
+            for i, query, key in followers:
+                hit = self.result_cache.lookup(key)
+                if hit is None:
+                    # A cache that refuses to retain results (or evicted
+                    # the entry already): mirror the looped path — reuse
+                    # the hoisted plan and re-execute.
+                    self.plans_reused += 1
+                    batch_plans_reused += 1
+                    plan = plans[unit_index[key]]
+                    run_span = (span.child("engine.run")
+                                .set("backend", plan.backend))
+                    hit = self.registry.get(plan.backend).run(query)
+                    run_span.set("tuples_evaluated", float(getattr(
+                        hit, "tuples_evaluated", 0))).finish()
+                    self._finish_batch_result(hit, plan, key, 1)
+                results[i] = hit
 
-        for result in results:
-            result.extra["plans_reused"] = float(batch_plans_reused)
-        return results
+            for result in results:
+                result.extra["plans_reused"] = float(batch_plans_reused)
+            return results
+        finally:
+            self._m_latency.observe(time.perf_counter() - started)
+            span.finish()
 
     def _finish_batch_result(self, result, plan: QueryPlan,
                              key: Optional[tuple], group_size: int) -> None:
@@ -232,6 +369,12 @@ class Executor:
         # results carry no tuple counter).
         result.extra.setdefault("tuples_evaluated",
                                 float(getattr(result, "tuples_evaluated", 0)))
+        # The attributed share is the honest work counter; the cost
+        # feedback compares the *solo-equivalent* count against the
+        # estimate, which priced a solo run.
+        self._m_tuples.inc(float(getattr(result, "tuples_evaluated", 0)))
+        self._record_cost_feedback(plan,
+                                   float(result.extra["tuples_evaluated"]))
         if key is not None:
             self.result_cache.store(key, result)
 
@@ -256,6 +399,39 @@ class Executor:
         }
         stats.update(self.result_cache.stats())
         return stats
+
+    #: ``cache_stats`` keys renamed when folded into a metrics snapshot —
+    #: the bare bound-cache names collide with other layers' otherwise.
+    _SNAPSHOT_RENAMES = {"entries": "bound_entries", "hits": "bound_hits",
+                         "misses": "bound_misses",
+                         "hit_rate": "bound_hit_rate"}
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """One flat ``engine.*``-namespaced view: registry + cache stats.
+
+        The live registry counters/histograms come through as-is (they
+        are already namespaced); the :meth:`cache_stats` mapping is
+        folded in under the ``engine.`` prefix with the bound-cache keys
+        renamed (``entries`` → ``engine.bound_entries``, ...).
+        """
+        snap = self.metrics.snapshot()
+        for name, value in self.cache_stats().items():
+            snap[f"engine.{self._SNAPSHOT_RENAMES.get(name, name)}"] = \
+                float(value)
+        return snap
+
+    def explain_analyze(self, query) -> str:
+        """Run ``query`` traced (result cache bypassed) and render the trace.
+
+        The rendered text is the span tree — plan with per-candidate cost
+        estimates, the backend run with its tuple count — followed by the
+        per-backend estimated-cost vs. actual-tuples table.  Uses a
+        private tracer, so it works (and stays side-effect-free on the
+        ring buffer) whether or not :attr:`tracer` is enabled.
+        """
+        from repro.obs.explain import analyze_with
+
+        return analyze_with(self, query, "engine.explain_analyze")
 
     def invalidate_results(self, row: Optional[Mapping[str, object]] = None,
                            ) -> None:

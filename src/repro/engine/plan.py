@@ -35,6 +35,11 @@ class QueryPlan:
     #: decided (details carry ``cost_estimates`` / ``cost_inputs``),
     #: :data:`MODE_STATIC` when the (priority, name) order did.
     mode: str = MODE_STATIC
+    #: Per-candidate ``(backend name, estimated cost)`` pairs in candidate
+    #: order when the plan was costed, ``()`` otherwise.  The structured
+    #: twin of ``details["cost_estimates"]`` — tracing and
+    #: ``explain_analyze`` read this instead of re-parsing the string.
+    estimates: Tuple[Tuple[str, float], ...] = ()
 
     def describe(self) -> str:
         """Single-line human-readable plan, e.g. for ``extra['plan']``."""
@@ -55,6 +60,7 @@ class QueryPlan:
             "details": dict(self.details),
             "candidates": list(self.candidates),
             "mode": self.mode,
+            "estimates": [list(pair) for pair in self.estimates],
         }
 
     def __str__(self) -> str:

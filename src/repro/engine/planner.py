@@ -90,7 +90,7 @@ class Planner:
                 f"and every ranking/preference dimension is a ranking dimension "
                 f"of the target relation")
         details = dict(self._query_details(kind, query))
-        chosen, mode = self._select(query, candidates, details)
+        chosen, mode, estimates = self._select(query, candidates, details)
         if len(candidates) > 1:
             details["losing_candidates"] = ",".join(
                 f"{b.name}:{b.priority}" for b in candidates if b is not chosen)
@@ -102,6 +102,7 @@ class Planner:
             details=details,
             candidates=tuple(b.name for b in candidates),
             mode=mode,
+            estimates=estimates,
         )
 
     def explain(self, query) -> str:
@@ -112,14 +113,18 @@ class Planner:
     # selection
     # ------------------------------------------------------------------
     def _select(self, query, candidates: List[Backend], details):
-        """Pick the winner, recording cost evidence (or the fallback reason)."""
+        """Pick the winner, recording cost evidence (or the fallback reason).
+
+        Returns ``(chosen backend, mode, per-candidate estimate pairs)``;
+        the pairs are empty whenever the static order decided.
+        """
         if self.mode != MODE_COST:
-            return candidates[0], MODE_STATIC
+            return candidates[0], MODE_STATIC, ()
         estimates = self._estimates(query, candidates)
         if estimates is None:
             details["cost_fallback"] = (
                 "unestimable candidate; static (priority, name) order kept")
-            return candidates[0], MODE_STATIC
+            return candidates[0], MODE_STATIC, ()
         # Cheapest estimate wins; exact cost ties fall back to the static
         # (priority, name) order, keeping selection fully deterministic.
         ranked = sorted(range(len(candidates)),
@@ -130,7 +135,9 @@ class Planner:
             for i in range(len(candidates)))
         details["estimated_cost"] = round(estimates[winner].cost, 3)
         details["cost_inputs"] = estimates[winner].describe_inputs()
-        return candidates[winner], MODE_COST
+        pairs = tuple((estimate.backend, float(estimate.cost))
+                      for estimate in estimates)
+        return candidates[winner], MODE_COST, pairs
 
     def _estimates(self, query,
                    candidates: List[Backend]) -> Optional[List[CostEstimate]]:

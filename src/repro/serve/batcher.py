@@ -50,6 +50,10 @@ class QueuedRequest:
     #: can tell an abandoned-by-timeout request (already counted) from a
     #: caller-cancelled one (counted at drain time).
     timed_out: bool = field(default=False)
+    #: Root span of an ``explain_analyze`` request: the dispatcher parents
+    #: the batch's engine spans under it instead of the batch trace, so
+    #: the analyzed request renders one tree from queue wait to gather.
+    span: Optional[object] = field(default=None)
 
 
 class MicroBatcher:

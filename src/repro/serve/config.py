@@ -54,6 +54,18 @@ class ServiceConfig:
     latency_window:
         How many recent completions the latency/queue-wait percentile
         reservoirs retain.
+    tracing:
+        Record a span tree per dispatched batch (and per analyzed
+        request) into the service tracer's ring buffer.  Off by default:
+        the disabled tracer is a no-op object adding zero allocations to
+        the hot path; enabling it costs < 5% on the serving benchmark
+        (gated by ``benchmarks/bench_obs_overhead.py`` in CI).
+    slow_query_threshold:
+        Root-span duration (seconds) at or above which a completed trace
+        is also kept in the slow-query log.  Setting it implies tracing
+        even when ``tracing`` is False; ``None`` disables the log.
+    trace_ring_size:
+        How many completed traces the ring buffer retains.
     """
 
     max_batch_size: int = 64
@@ -64,6 +76,9 @@ class ServiceConfig:
     engine_concurrency: int = 1
     backend_limits: Mapping[str, int] = field(default_factory=dict)
     latency_window: int = 2048
+    tracing: bool = False
+    slow_query_threshold: Optional[float] = None
+    trace_ring_size: int = 256
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -86,6 +101,13 @@ class ServiceConfig:
                 f"{self.engine_concurrency}")
         if self.latency_window < 1:
             raise ServeError("latency_window must be >= 1")
+        if (self.slow_query_threshold is not None
+                and self.slow_query_threshold < 0):
+            raise ServeError(
+                "slow_query_threshold must be >= 0 (seconds) or None")
+        if self.trace_ring_size < 1:
+            raise ServeError(
+                f"trace_ring_size must be >= 1, got {self.trace_ring_size}")
         for name, limit in dict(self.backend_limits).items():
             if int(limit) < 1:
                 raise ServeError(

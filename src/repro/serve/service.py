@@ -33,10 +33,14 @@ the engine-recorded ``fused_group_size``.
 from __future__ import annotations
 
 import asyncio
+import functools
+import inspect
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Mapping, Optional, Set
 
+from repro.obs.metrics import MetricsRegistry, merged_snapshot
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.batcher import MicroBatcher, QueuedRequest
 from repro.serve.config import ServiceConfig
 from repro.serve.errors import (
@@ -77,6 +81,15 @@ class QueryService:
         and has no such caveat.
     clock:
         Monotonic time source, injected by tests.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the service's
+        ``serve.*`` instruments publish into.  Defaults to the *engine's*
+        registry when it has one, so one snapshot covers ``serve.*`` and
+        ``engine.*`` / ``shard.*`` together.
+    tracer:
+        An explicit :class:`~repro.obs.trace.Tracer`; defaults to one
+        built from the config's tracing knobs (the no-op null tracer
+        when ``config.tracing`` is off and no slow-query threshold set).
 
     The service must be started inside a running event loop — use
     ``async with QueryService(...) as service:`` or call :meth:`start` /
@@ -85,19 +98,44 @@ class QueryService:
 
     def __init__(self, engine, config: Optional[ServiceConfig] = None, *,
                  manager=None, relation=None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None) -> None:
         self.engine = engine
         self.config = config or ServiceConfig()
         self.manager = manager if manager is not None \
             else getattr(engine, "manager", None)
         self.relation = relation
         self._clock = clock
+        self.metrics = (metrics
+                        if metrics is not None
+                        else getattr(engine, "metrics", None))
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.tracing or self.config.slow_query_threshold is not None:
+            # The tracer shares the service clock so queue-wait spans
+            # (timed by enqueued_at) and engine spans share one timebase.
+            self.tracer = Tracer(
+                ring_size=self.config.trace_ring_size,
+                slow_threshold=self.config.slow_query_threshold,
+                clock=clock)
+        else:
+            self.tracer = NULL_TRACER
+        # Whether the engine's execute_many accepts parent_span — custom
+        # duck-typed engines without the keyword keep working untraced.
+        try:
+            self._engine_takes_span = "parent_span" in \
+                inspect.signature(engine.execute_many).parameters
+        except (TypeError, ValueError):  # builtins / odd callables
+            self._engine_takes_span = False
         self.batcher = MicroBatcher(self.config.max_batch_size,
                                     self.config.max_linger,
                                     self.config.min_linger,
                                     clock=clock)
         self.stats = ServiceStats(window=self.config.latency_window,
-                                  clock=clock)
+                                  clock=clock, metrics=self.metrics)
         self._ensure_pool = getattr(engine, "ensure_pool", None)
         if self._ensure_pool is not None:
             # Reuse the scatter layer's leg pool; the reserve keeps the
@@ -201,6 +239,10 @@ class QueryService:
         Cancelling the awaiting task likewise abandons the request.
         """
         request = self._admit(query)
+        return await self._await_request(request, timeout)
+
+    async def _await_request(self, request: QueuedRequest, timeout):
+        """Await one admitted request under the submit timeout contract."""
         if timeout is _UNSET:
             timeout = self.config.default_timeout
         if timeout is None:
@@ -301,6 +343,21 @@ class QueryService:
         if not live:
             return
         queries = [request.query for request in live]
+        first_enqueued = min(request.enqueued_at for request in live)
+        # An explain_analyze request carries its own root span; the
+        # batch's engine spans parent under it so its tree is complete.
+        # Otherwise the service tracer (null when tracing is off) roots a
+        # serve.batch trace opened at the oldest admission.
+        analyzed = next((request.span for request in live
+                         if request.span is not None), None)
+        batch_span = self.tracer.trace("serve.batch", start=first_enqueued)
+        parent = analyzed if analyzed is not None else \
+            (batch_span if batch_span else None)
+        engine_call = self.engine.execute_many
+        if parent is not None and self._engine_takes_span:
+            # Explicit parenthood: contextvars do not cross
+            # run_in_executor threads, a keyword does.
+            engine_call = functools.partial(engine_call, parent_span=parent)
         async with self._engine_sem:
             await self._engine_enter()
             acquired: List[asyncio.Semaphore] = []
@@ -313,9 +370,20 @@ class QueryService:
                             await sem.acquire()
                             acquired.append(sem)
                 dispatched_at = self._clock()
+                if batch_span:
+                    batch_span.set("batch_size", len(live))
+                    (batch_span.child("serve.queue_wait",
+                                      start=first_enqueued)
+                     .finish(end=dispatched_at))
+                if analyzed is not None:
+                    for request in live:
+                        if request.span is not None:
+                            (request.span.child("serve.queue_wait",
+                                                start=request.enqueued_at)
+                             .set("batch_size", len(live))
+                             .finish(end=dispatched_at))
                 self.stats.record_batch(len(live))
-                results = await self._in_executor(self.engine.execute_many,
-                                                  queries)
+                results = await self._in_executor(engine_call, queries)
             except Exception as exc:
                 for request in live:
                     if not request.future.done():
@@ -324,12 +392,14 @@ class QueryService:
                     elif (request.future.cancelled()
                           and not request.timed_out):
                         self.stats.record_cancellation()
+                batch_span.finish()
                 return
             finally:
                 for sem in acquired:
                     sem.release()
                 self._engine_exit()
         now = self._clock()
+        batch_span.finish(end=now)
         batch_size = float(len(live))
         for request, result in zip(live, results):
             queue_wait = dispatched_at - request.enqueued_at
@@ -473,3 +543,51 @@ class QueryService:
         snap["pending"] = float(len(self.batcher))
         snap["current_linger"] = float(self.batcher.linger)
         return snap
+
+    def metrics_snapshot(self) -> dict:
+        """One namespaced ``{name: float}`` view across every layer.
+
+        ``serve.*`` comes from this service's registry; the engine's own
+        :meth:`metrics_snapshot` (which merges per-shard registries for a
+        scatter engine) supplies ``engine.*`` / ``shard.*`` /
+        ``planner.*``.  When the service and engine share one registry —
+        the default — the shared names are emitted once, not doubled.
+        """
+        engine_snapshot = getattr(self.engine, "metrics_snapshot", None)
+        if engine_snapshot is None:
+            snap = self.metrics.snapshot()
+        else:
+            snap = dict(engine_snapshot())
+            if self.metrics is not getattr(self.engine, "metrics", None):
+                snap.update(self.metrics.snapshot())
+        snap["serve.pending"] = float(len(self.batcher))
+        snap["serve.current_linger"] = float(self.batcher.linger)
+        return snap
+
+    def slow_queries(self) -> list:
+        """Traces at or above ``config.slow_query_threshold`` (oldest
+        first) — empty when tracing or the slow-query log is off."""
+        return self.tracer.slow_queries()
+
+    async def explain_analyze(self, query, *, timeout=_UNSET) -> str:
+        """Serve ``query`` traced end to end and render its span tree.
+
+        The request goes through the normal admission → micro-batch →
+        dispatch path, so the rendered tree shows what serving *actually
+        did*: the queue wait, the batch it rode in (with its size), the
+        engine's plan(s) with per-candidate cost estimates, every scatter
+        leg (skipped legs with reasons), fused-sweep attributed shares,
+        and the gather — followed by estimated cost vs. actual tuples
+        evaluated per backend.  A private always-on tracer is used, so
+        this works with ``config.tracing`` off; peers sharing the batch
+        are unaffected.
+        """
+        from repro.obs.explain import render_trace
+
+        tracer = Tracer(ring_size=1, clock=self._clock)
+        root = tracer.trace("serve.request")
+        request = self._admit(query)
+        request.span = root
+        result = await self._await_request(request, timeout)
+        root.finish()
+        return render_trace(root.trace, result=result)

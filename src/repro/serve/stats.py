@@ -2,81 +2,117 @@
 
 :class:`ServiceStats` is the service's own ledger — admissions,
 rejections, completions, timeouts, batch sizes, and bounded reservoirs of
-per-request latency and queue wait.  Its :meth:`~ServiceStats.snapshot`
-merges the engine's ``cache_stats()`` (result-cache and fusion counters,
-already aggregated across shards by
-:meth:`~repro.shard.scatter.ScatterGatherExecutor.cache_stats`), so one
-mapping answers "how is serving going" end to end.
+per-request latency and queue wait.  Since the ``repro.obs`` subsystem
+landed, the ledger *is* a set of ``serve.*`` instruments in a shared
+:class:`~repro.obs.metrics.MetricsRegistry`: the counters are registry
+counters, and the latency/queue-wait reservoirs are the shared
+:class:`~repro.obs.metrics.Histogram` (the duplicate percentile math this
+module used to carry is deleted — :func:`~repro.obs.metrics.percentile`
+is re-exported here for compatibility).  :meth:`~ServiceStats.snapshot`
+still merges the engine's ``cache_stats()`` so one mapping answers "how
+is serving going" end to end.
 """
 
 from __future__ import annotations
 
-import math
 import time
-from collections import deque
-from typing import Callable, Deque, Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional
 
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (0 < q <= 100); 0.0 if empty."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return float(ordered[min(rank, len(ordered)) - 1])
+from repro.obs.metrics import MetricsRegistry, percentile  # noqa: F401  (re-export)
 
 
 class ServiceStats:
-    """Counters and reservoirs a :class:`QueryService` records into.
+    """``serve.*`` instruments a :class:`QueryService` records into.
 
-    All recording methods run on the event-loop thread, so there is no
-    locking here; the snapshot is a plain dict of floats in the same
-    spirit as the engines' ``cache_stats()``.
+    Recording methods run on the event-loop thread; the registry's lock
+    makes the instruments safe to snapshot from anywhere.  Counter values
+    remain readable as plain ints (``stats.completed``), so the surface
+    of the pre-registry ledger is preserved.
     """
 
     def __init__(self, window: int = 2048,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._clock = clock
         self._started = clock()
-        self.submitted = 0
-        self.completed = 0
-        self.rejected = 0
-        self.timed_out = 0
-        self.cancelled = 0
-        self.failed = 0
-        self.batches = 0
-        self.batched_requests = 0
-        self._latency: Deque[float] = deque(maxlen=window)
-        self._queue_wait: Deque[float] = deque(maxlen=window)
+        #: The registry the counters live in — the service shares its
+        #: engine's registry here so one snapshot spans every layer.
+        self.metrics = metrics or MetricsRegistry()
+        self._submitted = self.metrics.counter("serve.submitted")
+        self._completed = self.metrics.counter("serve.completed")
+        self._rejected = self.metrics.counter("serve.rejected")
+        self._timed_out = self.metrics.counter("serve.timed_out")
+        self._cancelled = self.metrics.counter("serve.cancelled")
+        self._failed = self.metrics.counter("serve.failed")
+        self._batches = self.metrics.counter("serve.batches")
+        self._batched_requests = self.metrics.counter(
+            "serve.batched_requests")
+        self._latency = self.metrics.histogram("serve.latency_seconds",
+                                               window=window)
+        self._queue_wait = self.metrics.histogram(
+            "serve.queue_wait_seconds", window=window)
+
+    # -- int views of the counters (the pre-registry surface) ----------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def timed_out(self) -> int:
+        return int(self._timed_out.value)
+
+    @property
+    def cancelled(self) -> int:
+        return int(self._cancelled.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def batched_requests(self) -> int:
+        return int(self._batched_requests.value)
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def record_admission(self) -> None:
-        self.submitted += 1
+        self._submitted.inc()
 
     def record_rejection(self) -> None:
-        self.rejected += 1
+        self._rejected.inc()
 
     def record_timeout(self) -> None:
-        self.timed_out += 1
+        self._timed_out.inc()
 
     def record_cancellation(self) -> None:
-        self.cancelled += 1
+        self._cancelled.inc()
 
     def record_failure(self) -> None:
-        self.failed += 1
+        self._failed.inc()
 
     def record_batch(self, size: int) -> None:
         """One engine dispatch of ``size`` live requests."""
-        self.batches += 1
-        self.batched_requests += size
+        self._batches.inc()
+        self._batched_requests.inc(float(size))
 
     def record_completion(self, queue_wait: float, latency: float) -> None:
         """One request resolved with a result."""
-        self.completed += 1
-        self._queue_wait.append(queue_wait)
-        self._latency.append(latency)
+        self._completed.inc()
+        self._queue_wait.observe(queue_wait)
+        self._latency.observe(latency)
 
     # ------------------------------------------------------------------
     # snapshot
@@ -88,7 +124,7 @@ class ServiceStats:
         Service-side keys: counters, ``throughput_qps`` (completions per
         second since construction), ``mean_batch_size``, and
         p50/p90/p99 of request latency and queue wait (seconds, over the
-        retained window).  ``engine_stats`` — the engine's
+        retained histogram windows).  ``engine_stats`` — the engine's
         ``cache_stats()`` — is merged in as-is (lifetime counters), and
         feeds ``fusion_rate``: the fraction of service-dispatched queries
         answered through a fused group's shared sweep.  ``fused_baseline``
@@ -97,8 +133,10 @@ class ServiceStats:
         excluded from the rate.
         """
         elapsed = max(self._clock() - self._started, 1e-9)
-        latencies = list(self._latency)
-        waits = list(self._queue_wait)
+        latencies = self._latency.values()
+        waits = self._queue_wait.values()
+        batches = self.batches
+        batched = self.batched_requests
         snap: Dict[str, float] = {
             "submitted": float(self.submitted),
             "completed": float(self.completed),
@@ -106,10 +144,9 @@ class ServiceStats:
             "timed_out": float(self.timed_out),
             "cancelled": float(self.cancelled),
             "failed": float(self.failed),
-            "batches": float(self.batches),
-            "batched_requests": float(self.batched_requests),
-            "mean_batch_size": (self.batched_requests / self.batches
-                                if self.batches else 0.0),
+            "batches": float(batches),
+            "batched_requests": float(batched),
+            "mean_batch_size": (batched / batches if batches else 0.0),
             "throughput_qps": self.completed / elapsed,
             "latency_p50": percentile(latencies, 50),
             "latency_p90": percentile(latencies, 90),
@@ -123,6 +160,5 @@ class ServiceStats:
                          for name, value in engine_stats.items()})
             fused = max(0.0, float(engine_stats.get("fused_queries", 0.0))
                         - fused_baseline)
-            snap["fusion_rate"] = (fused / self.batched_requests
-                                   if self.batched_requests else 0.0)
+            snap["fusion_rate"] = (fused / batched if batched else 0.0)
         return snap

@@ -55,6 +55,8 @@ from repro.engine.plan import (
 )
 from repro.engine.registry import kind_of
 from repro.errors import PlanningError
+from repro.obs.metrics import MetricsRegistry, merged_snapshot
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
 from repro.query import QueryResult, TopKQuery, topk_order_key
 from repro.shard.manager import Shard, ShardManager
 from repro.skyline.dominance import skyline_of, transform_dynamic
@@ -83,7 +85,9 @@ class ScatterGatherExecutor:
     def __init__(self, manager: ShardManager, parallel: bool = False,
                  max_workers: Optional[int] = None,
                  result_cache: Optional[ResultCache] = None,
-                 cost_model: Optional[CostModel] = None) -> None:
+                 cost_model: Optional[CostModel] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None) -> None:
         self.manager = manager
         self.parallel = parallel
         self.max_workers = max_workers
@@ -96,6 +100,19 @@ class ScatterGatherExecutor:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_workers = 0
         self._pool_lock = threading.Lock()
+        #: ``shard.*`` counters of the scatter front door itself; the
+        #: per-shard engines keep their own ``engine.*`` registries,
+        #: merged on demand by :meth:`metrics_snapshot`.
+        self.metrics = metrics or MetricsRegistry()
+        #: Off by default (the no-op null tracer).
+        self.tracer = tracer or NULL_TRACER
+        self._m_queries = self.metrics.counter("shard.queries")
+        self._m_batches = self.metrics.counter("shard.batches")
+        self._m_legs = self.metrics.counter("shard.legs_run")
+        self._m_legs_skipped = self.metrics.counter("shard.legs_skipped")
+        self._m_pruned = self.metrics.counter("shard.shards_pruned")
+        self._m_tuples = self.metrics.counter("shard.tuples_evaluated")
+        self._m_latency = self.metrics.histogram("shard.latency_seconds")
         manager.add_invalidation_hook(self._on_mutation)
 
     def _on_mutation(self, row=None) -> None:
@@ -288,34 +305,58 @@ class ScatterGatherExecutor:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, query):
-        """Prune, scatter, execute per shard, and gather one merged result."""
-        self._check_base_relation()
-        key = query_cache_key(query)
-        if key is not None:
-            key = (self._cache_scope,) + key
-            hit = self.result_cache.lookup(key)
-            if hit is not None:
-                return hit
-        return self._execute_miss(query, key)
+    def execute(self, query, *, parent_span=None, use_result_cache=True):
+        """Prune, scatter, execute per shard, and gather one merged result.
 
-    def _execute_miss(self, query, key):
+        ``parent_span`` threads an enabled trace through: the tree gains
+        a ``shard.execute`` span with one ``shard.leg`` child per
+        consulted *and* per skipped shard (skipped legs carry their skip
+        reason) and a ``shard.gather`` child.  ``use_result_cache=False``
+        bypasses the front-door result cache both ways — the
+        ``explain_analyze`` contract.
+        """
+        self._check_base_relation()
+        span = (parent_span.child("shard.execute")
+                if parent_span is not None
+                else self.tracer.trace("shard.execute"))
+        started = time.perf_counter()
+        self._m_queries.inc()
+        try:
+            key = query_cache_key(query) if use_result_cache else None
+            if key is not None:
+                key = (self._cache_scope,) + key
+                hit = self.result_cache.lookup(key)
+                if hit is not None:
+                    span.set("result_cache", "hit")
+                    return hit
+            return self._execute_miss(query, key, span)
+        finally:
+            self._m_latency.observe(time.perf_counter() - started)
+            span.finish()
+
+    def _execute_miss(self, query, key, span=NULL_SPAN):
         """The scatter/gather body of :meth:`execute` after a cache miss."""
         start = time.perf_counter()
         consulted, pruned = self._scatter_set(query)
+        self._m_pruned.inc(float(len(pruned)))
+        if span and pruned:
+            span.set("shards_pruned", tuple(pruned))
         kind = kind_of(query)
         planned_order = self._leg_order(query, consulted)
         skipped: Tuple[Tuple[int, str], ...] = ()
         if (kind == KIND_TOPK and not self.parallel
                 and isinstance(query, TopKQuery) and len(consulted) > 1):
             consulted, shard_results, skipped = self._run_shards_bounded(
-                planned_order, query)
+                planned_order, query, span)
         else:
-            shard_results = self._run_shards(consulted, query)
+            shard_results = self._run_shards(consulted, query, span)
+        gather_span = span.child("shard.gather")
         if kind == KIND_TOPK:
             result = self._gather_topk(query, consulted, shard_results)
         else:
             result = self._gather_skyline(query, consulted, shard_results)
+        gather_span.set("merged_rows", len(result.tids)).finish()
+        self._m_tuples.inc(float(getattr(result, "tuples_evaluated", 0)))
         result.elapsed_seconds = time.perf_counter() - start
         shard_backends = {
             shard.index: str(res.extra.get("backend", "?"))
@@ -335,7 +376,7 @@ class ScatterGatherExecutor:
             self.result_cache.store(key, result)
         return result
 
-    def execute_many(self, queries: Iterable) -> List:
+    def execute_many(self, queries: Iterable, *, parent_span=None) -> List:
         """Execute a batch of queries with one scatter leg per shard.
 
         Results come back in submission order and bit-identical to looping
@@ -359,38 +400,58 @@ class ScatterGatherExecutor:
         if not queries:
             return []
         self._check_base_relation()
-        results, units, _, followers = partition_batch(
-            queries, self._cache_scope, self.result_cache)
+        span = (parent_span.child("shard.execute_many")
+                if parent_span is not None
+                else self.tracer.trace("shard.execute_many"))
+        started = time.perf_counter()
+        self._m_batches.inc()
+        self._m_queries.inc(float(len(queries)))
+        try:
+            if span:
+                span.set("batch_size", len(queries))
+            results, units, _, followers = partition_batch(
+                queries, self._cache_scope, self.result_cache)
 
-        groups: Dict[tuple, List[int]] = {}
-        singles: List[int] = []
-        for position, (_, query, _) in enumerate(units):
-            if isinstance(query, TopKQuery):
-                groups.setdefault(function_fuse_key(query.function),
-                                  []).append(position)
-            else:
-                singles.append(position)
-        for members in groups.values():
-            if len(members) == 1:
-                singles.append(members[0])
-                continue
-            self.fused_groups += 1
-            self.fused_queries += len(members)
-            group_results = self._execute_group(
-                [units[position] for position in members])
-            for position, result in zip(members, group_results):
-                results[units[position][0]] = result
-        for position in sorted(singles):
-            i, query, key = units[position]
-            results[i] = self._execute_miss(query, key)
-        for i, query, key in followers:
-            hit = self.result_cache.lookup(key)
-            results[i] = hit if hit is not None else self._execute_miss(query,
-                                                                        key)
-        return results
+            groups: Dict[tuple, List[int]] = {}
+            singles: List[int] = []
+            for position, (_, query, _) in enumerate(units):
+                if isinstance(query, TopKQuery):
+                    groups.setdefault(function_fuse_key(query.function),
+                                      []).append(position)
+                else:
+                    singles.append(position)
+            for members in groups.values():
+                if len(members) == 1:
+                    singles.append(members[0])
+                    continue
+                self.fused_groups += 1
+                self.fused_queries += len(members)
+                group_results = self._execute_group(
+                    [units[position] for position in members], span)
+                for position, result in zip(members, group_results):
+                    results[units[position][0]] = result
+            for position in sorted(singles):
+                i, query, key = units[position]
+                results[i] = self._run_single(query, key, span)
+            for i, query, key in followers:
+                hit = self.result_cache.lookup(key)
+                results[i] = (hit if hit is not None
+                              else self._run_single(query, key, span))
+            return results
+        finally:
+            self._m_latency.observe(time.perf_counter() - started)
+            span.finish()
+
+    def _run_single(self, query, key, span=NULL_SPAN):
+        """One ungrouped batch member under its own ``shard.execute`` span."""
+        single_span = (span.child("shard.execute") if span else NULL_SPAN)
+        try:
+            return self._execute_miss(query, key, single_span)
+        finally:
+            single_span.finish()
 
     def _execute_group(self, group: List[Tuple[int, object, Optional[tuple]]],
-                       ) -> List[QueryResult]:
+                       span=NULL_SPAN) -> List[QueryResult]:
         """Scatter one same-function top-k group with one leg per shard.
 
         Per-query prune decisions are taken exactly as in :meth:`execute`;
@@ -400,9 +461,17 @@ class ScatterGatherExecutor:
         bound *per query*: a member whose gathered k-th score strictly
         beats a shard's floor drops out of that leg (recorded in its
         ``shards_skipped``), and a leg every member dropped never runs.
+
+        Under an enabled trace the group gets one ``shard.fused_scatter``
+        span whose ``shard.leg`` children carry the rider indices; a
+        member skipped by the k-th-score bound shows up on the leg as a
+        ``skipped_q<i>`` attribute, and a leg every member dropped is
+        recorded with ``skipped="all riders"`` instead of running.
         """
         start = time.perf_counter()
         group_queries = [query for _, query, _ in group]
+        group_span = (span.child("shard.fused_scatter")
+                      .set("group_size", len(group)))
         consulted_sets: List[Dict[int, Shard]] = []
         pruned_lists: List[List[Tuple[int, str]]] = []
         for query in group_queries:
@@ -423,19 +492,29 @@ class ScatterGatherExecutor:
         sequential = not self.parallel
         if sequential:
             for shard in order:
+                carried = [qi for qi in range(len(group_queries))
+                           if shard.index in consulted_sets[qi]]
+                if not carried:
+                    continue
+                leg = (group_span.child("shard.leg")
+                       .set("shard", shard.index) if group_span
+                       else NULL_SPAN)
                 riders = []
-                for qi, query in enumerate(group_queries):
-                    if shard.index not in consulted_sets[qi]:
-                        continue
-                    reason = self._leg_skip_reason(shard, query, gathered[qi])
+                for qi in carried:
+                    reason = self._leg_skip_reason(shard, group_queries[qi],
+                                                   gathered[qi])
                     if reason is not None:
                         skipped[qi].append((shard.index, reason))
+                        self._m_legs_skipped.inc()
+                        if leg:
+                            leg.set(f"skipped_q{qi}", reason)
                         continue
                     riders.append(qi)
                 if not riders:
+                    leg.set("skipped", "all riders").finish()
                     continue
-                leg_results = self.manager.executor_for(shard).execute_many(
-                    [group_queries[qi] for qi in riders])
+                leg_results = self._leg_execute_many(
+                    shard, [group_queries[qi] for qi in riders], riders, leg)
                 for qi, result in zip(riders, leg_results):
                     executed[qi].append((shard, result))
                     self._fold_gathered(gathered[qi], result,
@@ -448,26 +527,39 @@ class ScatterGatherExecutor:
                 if riders:
                     legs.append((shard, riders))
             if legs:
-                def run_leg(leg):
-                    shard, riders = leg
-                    return self.manager.executor_for(shard).execute_many(
-                        [group_queries[qi] for qi in riders])
+                leg_spans = ([group_span.child("shard.leg")
+                              .set("shard", shard.index)
+                              for shard, _ in legs] if group_span
+                             else [NULL_SPAN] * len(legs))
+
+                def run_leg(pair):
+                    (shard, riders), leg = pair
+                    return self._leg_execute_many(
+                        shard, [group_queries[qi] for qi in riders],
+                        riders, leg)
 
                 if len(legs) > 1:
-                    leg_outputs = list(self.ensure_pool().map(run_leg, legs))
+                    leg_outputs = list(self.ensure_pool().map(
+                        run_leg, zip(legs, leg_spans)))
                 else:
-                    leg_outputs = [run_leg(leg) for leg in legs]
+                    leg_outputs = [run_leg(pair)
+                                   for pair in zip(legs, leg_spans)]
                 for (shard, riders), leg_results in zip(legs, leg_outputs):
                     for qi, result in zip(riders, leg_results):
                         executed[qi].append((shard, result))
+        group_span.finish()
 
+        gather_span = span.child("shard.gather")
         group_size = float(len(group))
+        merged_rows = 0
         out: List[QueryResult] = []
         for qi, (i, query, key) in enumerate(group):
             legs_run = sorted(executed[qi], key=lambda pair: pair[0].index)
             consulted = [shard for shard, _ in legs_run]
             shard_results = [result for _, result in legs_run]
             result = self._gather_topk(query, consulted, shard_results)
+            merged_rows += len(result.tids)
+            self._m_tuples.inc(float(result.tuples_evaluated))
             result.elapsed_seconds = time.perf_counter() - start
             shard_backends = {
                 shard.index: str(res.extra.get("backend", "?"))
@@ -496,6 +588,8 @@ class ScatterGatherExecutor:
             if key is not None:
                 self.result_cache.store(key, result)
             out.append(result)
+        (gather_span.set("group_size", len(group))
+         .set("merged_rows", merged_rows).finish())
         return out
 
     def _group_leg_order(self, group_queries: List, shards: List[Shard],
@@ -516,19 +610,69 @@ class ScatterGatherExecutor:
 
         return sorted(shards, key=leg_key)
 
-    def _run_shards(self, consulted: List[Shard], query) -> List:
+    def _leg_execute(self, shard: Shard, query, leg) -> QueryResult:
+        """Run one scatter leg, threading the leg span into the shard engine.
+
+        The ``parent_span`` keyword is only passed when the leg span is
+        real — contextvars do not cross ``run_in_executor`` / pool
+        threads, so explicit parenthood is the one reliable channel — and
+        custom shard stacks without the keyword keep working untraced.
+        """
+        executor = self.manager.executor_for(shard)
+        if leg:
+            result = executor.execute(query, parent_span=leg)
+        else:
+            result = executor.execute(query)
+        self._m_legs.inc()
+        if leg:
+            leg.set("backend", str(result.extra.get("backend", "?")))
+            leg.set("tuples_evaluated",
+                    float(getattr(result, "tuples_evaluated", 0)))
+        leg.finish()
+        return result
+
+    def _leg_execute_many(self, shard: Shard, leg_queries: List, riders: List,
+                          leg) -> List:
+        """Run one fused-group leg (the shard's own ``execute_many``)."""
+        executor = self.manager.executor_for(shard)
+        if leg:
+            leg.set("riders", tuple(riders))
+            leg_results = executor.execute_many(leg_queries, parent_span=leg)
+        else:
+            leg_results = executor.execute_many(leg_queries)
+        self._m_legs.inc()
+        if leg:
+            leg.set("tuples_evaluated", sum(
+                float(getattr(result, "tuples_evaluated", 0))
+                for result in leg_results))
+        leg.finish()
+        return leg_results
+
+    def _run_shards(self, consulted: List[Shard], query,
+                    span=NULL_SPAN) -> List:
         """Per-shard results aligned with ``consulted``.
 
         The thread pool is created once on first parallel use and reused
         for the executor's lifetime — per-query pool startup would dominate
-        small scattered queries.
+        small scattered queries.  Leg spans are opened on the calling
+        thread (the span list is lock-protected) and finished by whichever
+        thread runs the leg.
         """
         if self.parallel and len(consulted) > 1:
+            # Parallel legs: spans open when the legs are dispatched (their
+            # durations include pool queueing, which is real wait).
+            legs = ([span.child("shard.leg").set("shard", shard.index)
+                     for shard in consulted] if span
+                    else [NULL_SPAN] * len(consulted))
             return list(self.ensure_pool().map(
-                lambda shard: self.manager.executor_for(shard).execute(query),
-                consulted))
-        return [self.manager.executor_for(shard).execute(query)
-                for shard in consulted]
+                lambda pair: self._leg_execute(pair[0], query, pair[1]),
+                zip(consulted, legs)))
+        results = []
+        for shard in consulted:
+            leg = (span.child("shard.leg").set("shard", shard.index)
+                   if span else NULL_SPAN)
+            results.append(self._leg_execute(shard, query, leg))
+        return results
 
     def _leg_skip_reason(self, shard: Shard, query: TopKQuery,
                          gathered: List[float]) -> Optional[str]:
@@ -559,6 +703,7 @@ class ScatterGatherExecutor:
             del gathered[k:]
 
     def _run_shards_bounded(self, ordered: List[Shard], query: TopKQuery,
+                            span=NULL_SPAN,
                             ) -> Tuple[List[Shard], List[QueryResult],
                                        Tuple[Tuple[int, str], ...]]:
         """Cost-ordered sequential scatter with bound-based leg skipping.
@@ -585,8 +730,14 @@ class ScatterGatherExecutor:
             reason = self._leg_skip_reason(shard, query, gathered)
             if reason is not None:
                 skipped.append((shard.index, reason))
+                self._m_legs_skipped.inc()
+                if span:
+                    (span.child("shard.leg").set("shard", shard.index)
+                     .set("skipped", reason).finish())
                 continue
-            result = self.manager.executor_for(shard).execute(query)
+            leg = (span.child("shard.leg").set("shard", shard.index)
+                   if span else NULL_SPAN)
+            result = self._leg_execute(shard, query, leg)
             executed.append((shard, result))
             self._fold_gathered(gathered, result, query.k)
         executed.sort(key=lambda pair: pair[0].index)
@@ -660,21 +811,29 @@ class ScatterGatherExecutor:
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
+    #: Uniformly ``shard_``-prefixed keys whose un-prefixed spellings are
+    #: kept as deprecated aliases (see :meth:`cache_stats`).
+    _DEPRECATED_ALIASES = {"entries": "shard_bound_entries",
+                           "hits": "shard_bound_hits",
+                           "misses": "shard_bound_misses",
+                           "hit_rate": "shard_bound_hit_rate",
+                           "plans_reused": "shard_plans_reused"}
+
     def cache_stats(self) -> Dict[str, float]:
         """One merged statistics view of the whole sharded stack.
 
         Callers (``ServiceStats``, benchmarks, operators) read a single
-        mapping instead of poking per-shard executors:
+        mapping instead of poking per-shard executors.  Every merged
+        per-shard key is uniformly ``shard_``-prefixed:
 
         * ``result_*`` — the scatter-level front-door result cache, same
           keys as the unsharded executor's;
-        * ``entries`` / ``hits`` / ``misses`` / ``hit_rate`` — the
-          per-shard lower-bound caches, summed (rate recomputed over the
-          sums);
+        * ``shard_bound_*`` — the per-shard lower-bound caches, summed
+          (rate recomputed over the sums);
         * ``fused_groups`` / ``fused_queries`` — *front-door* fusion: how
           many same-function groups (and member queries) this executor's
           ``execute_many`` scattered as one leg per shard;
-        * ``plans_reused`` and ``shard_fused_groups`` /
+        * ``shard_plans_reused`` and ``shard_fused_groups`` /
           ``shard_fused_queries`` — the per-shard engine counters, summed
           (a group fused on N shards counts once per shard leg that
           actually fused it, so the shard sums can exceed the front-door
@@ -683,6 +842,13 @@ class ScatterGatherExecutor:
         * ``shards_built`` — how many shard stacks exist at all (lazily
           built stacks the statistics always pruned are absent from every
           sum above).
+
+        .. deprecated::
+            The historically bare merged keys — ``entries`` / ``hits`` /
+            ``misses`` / ``hit_rate`` / ``plans_reused`` — are still
+            emitted as aliases of their ``shard_bound_*`` /
+            ``shard_plans_reused`` spellings for one release; read the
+            prefixed names.
         """
         stats: Dict[str, float] = OrderedDict(self.result_cache.stats())
         summed = ("entries", "hits", "misses", "plans_reused")
@@ -701,11 +867,52 @@ class ScatterGatherExecutor:
                 totals[name] += float(shard_stats.get(name, 0.0))
             for name, source in shard_sums.items():
                 shard_totals[name] += float(shard_stats.get(source, 0.0))
-        stats.update(totals)
         lookups = totals["hits"] + totals["misses"]
-        stats["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        stats["shard_bound_entries"] = totals["entries"]
+        stats["shard_bound_hits"] = totals["hits"]
+        stats["shard_bound_misses"] = totals["misses"]
+        stats["shard_bound_hit_rate"] = (totals["hits"] / lookups
+                                         if lookups else 0.0)
+        stats["shard_plans_reused"] = totals["plans_reused"]
         stats["fused_groups"] = float(self.fused_groups)
         stats["fused_queries"] = float(self.fused_queries)
         stats.update(shard_totals)
         stats["shards_built"] = float(len(built))
+        # Deprecated aliases (one release): the pre-namespacing bare keys.
+        for bare, prefixed in self._DEPRECATED_ALIASES.items():
+            stats[bare] = stats[prefixed]
         return stats
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """One flat view over the whole sharded stack's registries.
+
+        Merges this front door's ``shard.*`` registry with every built
+        shard engine's ``engine.*`` registry (counters summed, histogram
+        reservoirs pooled — see :func:`repro.obs.merged_snapshot`), then
+        folds :meth:`cache_stats` in under the ``shard.`` prefix.  The
+        deprecated bare aliases are left out of the fold — the snapshot
+        speaks only the namespaced dialect.
+        """
+        registries = [self.metrics]
+        for executor in self.manager.built_executors().values():
+            registry = getattr(executor, "metrics", None)
+            if registry is not None:
+                registries.append(registry)
+        snap = merged_snapshot(registries)
+        for name, value in self.cache_stats().items():
+            if name in self._DEPRECATED_ALIASES:
+                continue
+            snap[f"shard.{name}"] = float(value)
+        return snap
+
+    def explain_analyze(self, query) -> str:
+        """Run ``query`` traced (result caches bypassed at the front door)
+        and render the span tree with estimated vs. actual work.
+
+        The tree covers the scatter: every leg (including legs skipped by
+        the k-th-score bound, with their reasons), each shard engine's
+        plan/run children, and the gather.
+        """
+        from repro.obs.explain import analyze_with
+
+        return analyze_with(self, query, "shard.explain_analyze")

@@ -71,3 +71,54 @@ class TestBenchServing:
         served = re.search(r"served:\s+(\d+) tuples", out)
         assert match and served
         assert int(served.group(1)) * 2 <= int(match.group(1))
+
+
+class TestBenchObsOverhead:
+    def test_quick_mode_writes_json_and_keeps_parity(self, capsys, tmp_path):
+        import json
+
+        bench = load_benchmark("bench_obs_overhead")
+        output = tmp_path / "BENCH_obs.json"
+        # A lenient limit: at tiny N the per-query work is microseconds,
+        # so the relative overhead is unrepresentative — this smoke pins
+        # the answer-parity and trace-recording gates plus the JSON
+        # contract, while CI runs the real 5% gate via --quick alone.
+        assert bench.main(["--quick", "--tuples", "600", "--repeats", "3",
+                           "--limit", "5.0",
+                           "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "overhead:" in out
+        payload = json.loads(output.read_text())
+        assert payload["benchmark"] == "obs_overhead"
+        assert payload["passed"] is True
+        assert payload["traces_recorded"] > 0
+        assert payload["untraced_seconds"] > 0.0
+        assert payload["traced_seconds"] > 0.0
+
+
+class TestCalibrateMetricsOption:
+    def test_metrics_snapshot_is_summarized(self, capsys, tmp_path):
+        import json
+
+        from repro.engine import Executor
+        from repro.functions import LinearFunction
+        from repro.query import Predicate, TopKQuery
+        from repro.workloads import SyntheticSpec, generate_relation
+
+        relation = generate_relation(SyntheticSpec(
+            num_tuples=400, num_selection_dims=2, num_ranking_dims=2,
+            cardinality=4, seed=51))
+        engine = Executor.for_relation(relation, block_size=50)
+        for value in range(4):
+            engine.execute(TopKQuery(
+                Predicate.of(A1=value % 4),
+                LinearFunction(["N1", "N2"], [1.0, 1.0]), 3))
+        snapshot = tmp_path / "metrics.json"
+        snapshot.write_text(json.dumps(engine.metrics_snapshot()))
+
+        calibrate = load_benchmark("calibrate_cost_model")
+        assert calibrate.main(["--quick", "--tuples", "500", "--repeats", "1",
+                               "--metrics", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "per-backend cost feedback" in out
+        assert "misestimates (>4x off)" in out

@@ -70,7 +70,11 @@ class TestCli:
         out = capsys.readouterr().out
         assert "scatter/gather over 3 range shards" in out
         assert "served 9 queries from 3 concurrent clients" in out
-        assert "fused queries:" in out and "throughput:" in out
+        # Shutdown prints the merged metrics registry as JSON, spanning
+        # every layer of the stack.
+        assert '"serve.completed"' in out
+        assert '"shard.legs_run"' in out
+        assert '"engine.tuples_evaluated"' in out
 
     def test_serve_unsharded(self, capsys):
         assert main(["serve", "--shards", "1", "--clients", "2",
@@ -78,6 +82,25 @@ class TestCli:
         out = capsys.readouterr().out
         assert "engine: unsharded" in out
         assert "served 4 queries from 2 concurrent clients" in out
+        assert '"serve.completed"' in out
+        assert '"engine.queries"' in out
+
+    def test_analyze_served_sharded(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+        assert "serve.queue_wait" in out
+        assert "shard.leg" in out
+        assert "shard.gather" in out
+        assert "engine.plan" in out
+        assert "estimated cost vs actual tuples evaluated:" in out
+
+    def test_analyze_direct_unsharded(self, capsys):
+        assert main(["analyze", "--shards", "1", "--direct"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.explain_analyze" in out
+        assert "engine.plan" in out
+        assert "cost_estimates=" in out
 
     def test_run_experiments_unknown_id(self, capsys):
         assert main(["run-experiments", "--only", "not-a-figure"]) == 2

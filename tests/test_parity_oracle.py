@@ -280,6 +280,54 @@ def test_fused_batch_matches_loop_and_oracle(universe, spec_index):
 
 
 @pytest.mark.parametrize("spec_index", range(len(SPECS)))
+def test_traced_execution_keeps_oracle_parity(universe, spec_index):
+    """Enabled tracing records spans without ever changing an answer.
+
+    Re-runs the top-k workload with a live :class:`~repro.obs.Tracer` on
+    the engine front door, on every shard count in {1, 2, 7}, and through
+    the fused ``execute_many`` path — result caches invalidated first so
+    the traced paths actually execute — and asserts bit-identical results
+    against the brute-force oracle, plus that traces were recorded.
+    """
+    from repro.obs import NULL_TRACER, Tracer
+
+    relation, engine, sharded, queries = universe[spec_index]
+    batch = [query for query in queries if isinstance(query, TopKQuery)]
+    oracle = [brute_force_topk(relation, query) for query in batch]
+    try:
+        engine.tracer = Tracer(ring_size=8)
+        engine.invalidate_results()
+        for query, (tids, scores) in zip(batch, oracle):
+            traced = engine.execute(query)
+            assert traced.tids == tids, engine.explain(query)
+            assert traced.scores == scores, engine.explain(query)
+        engine.invalidate_results()
+        fused = engine.execute_many(batch)
+        for query, result, (tids, scores) in zip(batch, fused, oracle):
+            assert result.tids == tids, engine.explain(query)
+            assert result.scores == scores, engine.explain(query)
+        assert engine.tracer.traces_recorded >= len(batch) + 1
+
+        for count, scatter in sharded.items():
+            scatter.tracer = Tracer(ring_size=8)
+            scatter.manager.invalidate_caches()
+            for query, (tids, scores) in zip(batch, oracle):
+                gathered = scatter.execute(query)
+                assert gathered.tids == tids, (count, scatter.explain(query))
+                assert gathered.scores == scores, count
+            scatter.manager.invalidate_caches()
+            gathered_batch = scatter.execute_many(batch)
+            for result, (tids, scores) in zip(gathered_batch, oracle):
+                assert result.tids == tids, count
+                assert result.scores == scores, count
+            assert scatter.tracer.traces_recorded >= len(batch) + 1
+    finally:
+        engine.tracer = NULL_TRACER
+        for scatter in sharded.values():
+            scatter.tracer = NULL_TRACER
+
+
+@pytest.mark.parametrize("spec_index", range(len(SPECS)))
 def test_every_case_was_planned(universe, spec_index):
     """Every generated query routes through a real (explainable) plan."""
     relation, engine, _, queries = universe[spec_index]
