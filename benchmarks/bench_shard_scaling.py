@@ -126,6 +126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"sharded evaluated {sharded_tuples} tuples, scan {scan_tuples}")
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)
+    sharded.close()
     return 1 if failures else 0
 
 

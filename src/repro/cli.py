@@ -6,13 +6,15 @@ Commands
     Print every experiment id with its description.
 ``run-experiments [--only id,id,...] [--output report.md]``
     Run experiments and print (or write) a markdown report.
-``demo [--shards N] [--planner cost|static]``
+``demo [--shards N] [--scatter threads|processes] [--planner cost|static]``
     Build a small ranking cube and run one query end to end — a smoke test
     that the installation works.  ``--shards N`` routes the same queries
     through the scatter/gather engine over N range shards instead;
-    ``--planner static`` swaps the statistics-driven cost-based backend
-    selection for the legacy (priority, name) order.
-``serve [--shards N] [--clients C] [--queries Q] [--linger MS]``
+    ``--scatter processes`` runs heavy shard legs in per-shard worker
+    processes (shared-memory data, GIL-free scoring); ``--planner static``
+    swaps the statistics-driven cost-based backend selection for the
+    legacy (priority, name) order.
+``serve [--shards N] [--scatter threads|processes] [--clients C] [--queries Q] [--linger MS]``
     Start an async :class:`~repro.serve.QueryService` over the engine and
     drive C concurrent clients of Q queries each through it, then print
     the merged metrics-registry snapshot (``serve.*`` + ``shard.*`` +
@@ -80,13 +82,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                                                num_ranking_dims=2, cardinality=10))
     num_shards = getattr(args, "shards", 0) or 0
     planner_mode = getattr(args, "planner", "cost")
+    scatter = getattr(args, "scatter", "threads")
+    close_engine = None
     if num_shards > 1:
         from repro.workloads import make_sharded_engine
 
         _, executor = make_sharded_engine(relation, num_shards, range_dim="A1",
-                                          block_size=200,
+                                          scatter=scatter, block_size=200,
                                           planner_mode=planner_mode)
-        print(f"engine: scatter/gather over {num_shards} range shards on A1")
+        close_engine = executor.close
+        print(f"engine: scatter/gather over {num_shards} range shards on A1 "
+              f"({scatter})")
     else:
         executor = Executor.for_relation(relation, block_size=200,
                                          planner_mode=planner_mode)
@@ -114,6 +120,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     skyline = executor.execute(SkylineQuery(Predicate.of(A1=1), ("N1", "N2")))
     print(f"skyline for A1=1 over (N1, N2): {len(skyline)} points "
           f"via {skyline.backend}")
+    if close_engine is not None:
+        close_engine()
     return 0
 
 
@@ -134,9 +142,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cardinality=10))
     if args.shards > 1:
         manager, engine = make_sharded_engine(
-            relation, args.shards, range_dim="A1", block_size=200,
-            with_signature=False, with_skyline=False)
-        print(f"engine: scatter/gather over {args.shards} range shards on A1")
+            relation, args.shards, range_dim="A1", scatter=args.scatter,
+            block_size=200, with_signature=False, with_skyline=False)
+        print(f"engine: scatter/gather over {args.shards} range shards on A1 "
+              f"({args.scatter})")
     else:
         manager = None
         engine = Executor.for_relation(relation, block_size=200,
@@ -233,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--shards", type=int, default=0,
                       help="route the demo through a scatter/gather engine "
                            "over N range shards (default: unsharded)")
+    demo.add_argument("--scatter", choices=("threads", "processes"),
+                      default="threads",
+                      help="shard-leg runtime when sharded: in-process "
+                           "threads (default) or per-shard worker processes "
+                           "over shared memory")
     demo.add_argument("--planner", choices=("cost", "static"), default="cost",
                       help="backend selection mode: statistics-driven cost "
                            "estimates (default) or the static (priority, "
@@ -244,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=3,
                        help="scatter/gather over N range shards "
                             "(<=1: unsharded; default: 3)")
+    serve.add_argument("--scatter", choices=("threads", "processes"),
+                       default="threads",
+                       help="shard-leg runtime when sharded: in-process "
+                            "threads (default) or per-shard worker "
+                            "processes over shared memory")
     serve.add_argument("--clients", type=int, default=8,
                        help="number of concurrent clients (default: 8)")
     serve.add_argument("--queries", type=int, default=6,

@@ -258,13 +258,21 @@ class CostModel:
     intersection_penalty = 0.5
     #: Shape factor for functions with no monotonicity structure.
     general_shape_factor = 4.0
+    #: Per-leg IPC overhead of dispatching one scatter leg to a worker
+    #: *process* instead of a thread: pickling the query, a pipe round
+    #: trip, and unpickling the top-k answer, expressed in tuple-score
+    #: units.  The scatter layer compares :meth:`scatter_leg_cost`
+    #: against it to price the thread/process crossover — a leg cheaper
+    #: than the IPC it would cost stays on the thread pool.  Calibratable
+    #: like every other constant (``CostModel(process_leg_overhead=...)``).
+    process_leg_overhead = 5000.0
 
     #: Constants overridable per instance (``CostModel(**constants)``),
     #: e.g. from ``benchmarks/calibrate_cost_model.py`` measurements.
     TUNABLE = ("row_filter_cost", "score_cost", "block_touch_cost",
                "node_touch_cost", "signature_test_cost",
                "frontier_overvisit", "intersection_penalty",
-               "general_shape_factor")
+               "general_shape_factor", "process_leg_overhead")
 
     def __init__(self, **constants: float) -> None:
         """Optionally override the class-level constants on this instance.
@@ -339,6 +347,22 @@ class CostModel:
             return (stats.score_floor(query.function),
                     stats.expected_matches(query.predicate))
         return (0.0, float(stats.num_tuples))
+
+    def scatter_leg_cost(self, query, stats: RelationStatistics) -> float:
+        """Coarse tuple-score cost of running one scatter leg on a shard.
+
+        A scan-shaped upper-ish proxy — one filtered pass over the shard
+        plus scoring the expected matches — deliberately backend-agnostic:
+        it prices *how much work a leg ships to a worker*, not which index
+        the worker's planner will pick.  The scatter layer compares the
+        most expensive surviving leg against
+        :attr:`process_leg_overhead`: when even the biggest leg is cheaper
+        than a pipe round trip, the whole scatter stays on the thread
+        pool (the small-relation fallback).
+        """
+        matches = stats.expected_matches(query.predicate)
+        return (self.row_filter_cost * stats.num_tuples
+                + self.score_cost * matches)
 
     # ------------------------------------------------------------------
     # per-access estimators

@@ -58,3 +58,13 @@ class OptimizerError(ReproError):
 
 class PlanningError(QueryError):
     """The engine planner found no registered backend able to serve a query."""
+
+
+class ShardWorkerError(ReproError):
+    """A shard's worker process failed (died, was killed, or misbehaved).
+
+    Raised by the process-scatter layer instead of hanging on a dead
+    pipe; the message names the shard and the worker's exit code so the
+    failure is actionable.  The dead worker is discarded — the next
+    scatter leg to that shard respawns a fresh one.
+    """

@@ -26,7 +26,7 @@ import json
 import math
 import threading
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -228,6 +228,48 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The snapshot as sorted JSON (the CLI's shutdown printout)."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    # -- cross-process state shipping ----------------------------------
+    def state(self) -> Dict[str, object]:
+        """The registry's full raw state as picklable plain containers.
+
+        Unlike :meth:`snapshot`, histograms keep their *raw reservoir
+        values* (plus lifetime count/sum and window), so a registry
+        rebuilt from this state via :meth:`from_state` pools correctly
+        under :func:`merged_snapshot` — percentiles over the union of
+        observations, never a mean of pre-flattened percentiles.  This is
+        how per-shard worker processes ship their ``engine.*`` registries
+        back to the scatter front door on each gather.
+        """
+        with self._lock:
+            return {
+                "counters": {name: c._value
+                             for name, c in self._counters.items()},
+                "gauges": {name: g._value
+                           for name, g in self._gauges.items()},
+                "histograms": {
+                    name: {"values": list(h._values), "count": h.count,
+                           "sum": h.sum, "window": h.window}
+                    for name, h in self._histograms.items()
+                },
+            }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry replica from a :meth:`state` mapping."""
+        registry = cls()
+        for name, value in dict(state.get("counters", {})).items():
+            registry.counter(name)._value = float(value)
+        for name, value in dict(state.get("gauges", {})).items():
+            registry.gauge(name).set(float(value))
+        for name, payload in dict(state.get("histograms", {})).items():
+            hist = registry.histogram(name,
+                                      window=int(payload.get("window", 2048)))
+            for value in payload.get("values", []):
+                hist._values.append(float(value))
+            hist.count = int(payload.get("count", len(payload.get("values", []))))
+            hist.sum = float(payload.get("sum", 0.0))
+        return registry
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition (counters, gauges, summaries)."""

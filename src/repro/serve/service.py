@@ -188,21 +188,56 @@ class QueryService:
     async def close(self) -> None:
         """Stop admissions, flush the queue, wait for in-flight work.
 
-        Pending requests are *executed* (graceful drain), not failed;
-        admissions racing the shutdown get
-        :class:`~repro.serve.errors.ServiceClosedError`.
+        Pending requests are *executed* (graceful drain), not failed —
+        the drain loop keeps flushing forced micro-batches until the
+        queue is empty, so a backlog deeper than one ``max_batch_size``
+        batch cannot strand requests; admissions racing the shutdown get
+        :class:`~repro.serve.errors.ServiceClosedError`.  Should the
+        drain loop itself die, whatever is still queued is failed with a
+        :class:`~repro.serve.errors.ServiceClosedError` rather than left
+        waiting forever, and the drain loop's error is re-raised.
+
+        Every pool this service stood up is torn down deterministically:
+        the private thread pool when the service owns one, or the shared
+        engine's pools (thread *and* worker-process, via the engine's own
+        resettable ``close()``) when serving reused them — a stopped
+        service leaves no live executor threads or worker processes
+        behind, while the engine itself stays usable (its pools are
+        lazily recreated on next use).
         """
         if self._loop is None or self._closed:
             return
         self._closing = True
         self._wake.set()
+        drain_error: Optional[BaseException] = None
         if self._drain_task is not None:
-            await self._drain_task
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                drain_error = exc
         while self._tasks:
             await asyncio.gather(*list(self._tasks))
+        # The drain loop only exits with an empty queue; anything still
+        # here means it died mid-shutdown — fail the stragglers loudly
+        # instead of stranding their futures.
+        while len(self.batcher):
+            for request in self.batcher.drain(self._clock(), force=True):
+                if not request.future.done():
+                    request.future.set_exception(ServiceClosedError(
+                        "QueryService closed before this request could be "
+                        "dispatched"))
+                    self.stats.record_failure()
         self._closed = True
         if self._owns_pool:
             self._pool.shutdown(wait=True)
+        else:
+            engine_close = getattr(self.engine, "close", None)
+            if engine_close is not None:
+                await self._loop.run_in_executor(None, engine_close)
+        if drain_error is not None:
+            raise drain_error
 
     async def __aenter__(self) -> "QueryService":
         return await self.start()

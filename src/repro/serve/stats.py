@@ -131,6 +131,12 @@ class ServiceStats:
         is the engine's ``fused_queries`` before the service attached, so
         fusion the service did not cause (warm-ups, direct engine use) is
         excluded from the rate.
+
+        Keys the engine marks deprecated (``engine_stats.deprecated_keys``
+        — the scatter layer's pre-namespacing bare aliases) are dropped
+        from the merged view: the snapshot speaks only the canonical
+        ``shard_*`` dialect, and copying the aliases would hand the
+        deprecation problem to every snapshot consumer.
         """
         elapsed = max(self._clock() - self._started, 1e-9)
         latencies = self._latency.values()
@@ -156,8 +162,10 @@ class ServiceStats:
             "queue_wait_p99": percentile(waits, 99),
         }
         if engine_stats is not None:
+            deprecated = getattr(engine_stats, "deprecated_keys", ())
             snap.update({name: float(value)
-                         for name, value in engine_stats.items()})
+                         for name, value in engine_stats.items()
+                         if name not in deprecated})
             fused = max(0.0, float(engine_stats.get("fused_queries", 0.0))
                         - fused_baseline)
             snap["fusion_rate"] = (fused / batched if batched else 0.0)

@@ -16,7 +16,12 @@ entry points:
   :class:`repro.engine.Executor`: statistics-prune shards, scatter the
   query (optionally on a thread pool), k-way-merge top-k answers under the
   canonical ``(score, tid)`` order, and re-check skylines for cross-shard
-  dominance.
+  dominance;
+* :class:`~repro.shard.scatter.ProcessScatterExecutor` — the same surface
+  again, but heavy legs run in long-lived per-shard worker processes
+  (:class:`~repro.shard.worker.ShardWorker`) over shared-memory copies of
+  the shard data, so Python scoring is no longer capped at one core; the
+  cost model prices the thread/process crossover per scatter.
 
 Usage::
 
@@ -38,15 +43,18 @@ from repro.shard.policy import (
     RangeShardingPolicy,
     ShardingPolicy,
 )
-from repro.shard.scatter import ScatterGatherExecutor
+from repro.shard.scatter import ProcessScatterExecutor, ScatterGatherExecutor
 from repro.shard.stats import ShardStatistics
+from repro.shard.worker import ShardWorker
 
 __all__ = [
     "HashShardingPolicy",
+    "ProcessScatterExecutor",
     "RangeShardingPolicy",
     "ScatterGatherExecutor",
     "Shard",
     "ShardManager",
     "ShardStatistics",
+    "ShardWorker",
     "ShardingPolicy",
 ]

@@ -96,6 +96,27 @@ class ShardManager:
         """Number of shards under management."""
         return self.policy.num_shards
 
+    @property
+    def has_custom_factory(self) -> bool:
+        """Whether shard stacks come from a caller-supplied factory.
+
+        Process-scatter workers rebuild their engines from
+        :attr:`executor_kwargs` in a spawned process; a closure factory
+        cannot make that trip, so the process executor refuses managers
+        for which this is true.
+        """
+        return self._executor_factory is not None
+
+    @property
+    def executor_kwargs(self) -> Dict[str, object]:
+        """A copy of the ``Executor.for_relation`` keyword arguments.
+
+        The exact arguments the default (factory-less) build path uses —
+        shard worker processes rebuild bit-identical engine stacks from
+        them.
+        """
+        return dict(self._executor_kwargs)
+
     def executor_for(self, shard: Shard) -> Executor:
         """The shard's engine stack, built on first use and then reused."""
         executor = self._executors.get(shard.index)

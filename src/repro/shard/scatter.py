@@ -32,11 +32,13 @@ explainable end-to-end, just like a single-engine plan.
 from __future__ import annotations
 
 import heapq
+import multiprocessing
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.engine.cache import (
     ResultCache,
@@ -54,13 +56,53 @@ from repro.engine.plan import (
     QueryPlan,
 )
 from repro.engine.registry import kind_of
-from repro.errors import PlanningError
+from repro.errors import PlanningError, ShardWorkerError
 from repro.obs.metrics import MetricsRegistry, merged_snapshot
 from repro.obs.trace import NULL_SPAN, NULL_TRACER
 from repro.query import QueryResult, TopKQuery, topk_order_key
 from repro.shard.manager import Shard, ShardManager
+from repro.shard.worker import ShardWorker
 from repro.skyline.dominance import skyline_of, transform_dynamic
 from repro.skyline.engine import SkylineResult
+
+
+class DeprecatedAliasStats(dict):
+    """A stats mapping whose legacy bare keys warn on access.
+
+    The scatter layer's merged :meth:`ScatterGatherExecutor.cache_stats`
+    renamed its per-shard keys to a uniform ``shard_*`` prefix one
+    release ago and kept the historical bare spellings as aliases.  The
+    aliases used to be silently deprecated — documented but emitting
+    nothing — so callers never noticed.  Reading one through
+    ``stats["entries"]`` / ``stats.get("entries")`` now raises a
+    :class:`DeprecationWarning` naming the canonical key; iteration
+    (``items()``/``keys()``) stays silent so merge/snapshot plumbing that
+    copies the whole mapping does not spam warnings.  The alias set is
+    exposed as :attr:`deprecated_keys` so such plumbing can drop the
+    aliases from derived views (``ServiceStats.snapshot`` does).
+    """
+
+    def __init__(self, data: Mapping[str, float],
+                 deprecated: Mapping[str, str]) -> None:
+        super().__init__(data)
+        #: ``{bare alias: canonical key}`` — keys that warn on access.
+        self.deprecated_keys: Dict[str, str] = dict(deprecated)
+
+    def _warn(self, key) -> None:
+        canonical = self.deprecated_keys.get(key)
+        if canonical is not None:
+            warnings.warn(
+                f"cache_stats() key {key!r} is deprecated; read the "
+                f"canonical {canonical!r} instead",
+                DeprecationWarning, stacklevel=3)
+
+    def __getitem__(self, key):
+        self._warn(key)
+        return super().__getitem__(key)
+
+    def get(self, key, default=None):
+        self._warn(key)
+        return super().get(key, default)
 
 
 class ScatterGatherExecutor:
@@ -100,6 +142,11 @@ class ScatterGatherExecutor:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_workers = 0
         self._pool_lock = threading.Lock()
+        #: Pools replaced by an :meth:`ensure_pool` upsize.  They were
+        #: shut down with ``wait=False`` so queued legs could finish, but
+        #: their threads may still be draining — :meth:`close` joins them
+        #: so a closed executor provably leaves no threads behind.
+        self._retired_pools: List[ThreadPoolExecutor] = []
         #: ``shard.*`` counters of the scatter front door itself; the
         #: per-shard engines keep their own ``engine.*`` registries,
         #: merged on demand by :meth:`metrics_snapshot`.
@@ -182,11 +229,43 @@ class ScatterGatherExecutor:
         with self._pool_lock:
             if self._pool is not None and needed > self._pool_workers:
                 self._pool.shutdown(wait=False)
+                self._retired_pools.append(self._pool)
                 self._pool = None
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(max_workers=needed)
                 self._pool_workers = needed
             return self._pool
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Deterministically tear down every pool this executor created.
+
+        Joins the live scatter pool *and* every pool retired by an
+        :meth:`ensure_pool` upsize (those were shut down with
+        ``wait=False`` and could still be draining legs) — after
+        :meth:`close` returns, no thread started by this executor is
+        alive.  The executor stays usable: a later parallel scatter
+        lazily recreates the pool, so owners like the serving layer can
+        close a shared engine without making it unusable for the next
+        owner.  Idempotent and safe to call on a never-parallel executor.
+        """
+        with self._pool_lock:
+            pools = list(self._retired_pools)
+            self._retired_pools.clear()
+            if self._pool is not None:
+                pools.append(self._pool)
+                self._pool = None
+                self._pool_workers = 0
+        for pool in pools:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ScatterGatherExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # shard pruning
@@ -263,7 +342,7 @@ class ScatterGatherExecutor:
         self._check_base_relation()
         consulted, pruned = self._scatter_set(query)
         shard_plans = {
-            shard.index: self.manager.executor_for(shard).plan(query)
+            shard.index: self._shard_plan(shard, query)
             for shard in consulted
         }
         shard_backends = {index: plan.backend
@@ -610,8 +689,18 @@ class ScatterGatherExecutor:
 
         return sorted(shards, key=leg_key)
 
-    def _leg_execute(self, shard: Shard, query, leg) -> QueryResult:
-        """Run one scatter leg, threading the leg span into the shard engine.
+    def _shard_plan(self, shard: Shard, query) -> QueryPlan:
+        """How ``shard`` would serve ``query`` — overridable leg routing.
+
+        The base implementation consults the shard's in-process stack;
+        :class:`ProcessScatterExecutor` overrides this (and the two
+        ``_shard_execute*`` hooks below) to route heavy legs to worker
+        processes instead.
+        """
+        return self.manager.executor_for(shard).plan(query)
+
+    def _shard_execute(self, shard: Shard, query, leg) -> QueryResult:
+        """Run ``query`` on one shard's engine — overridable leg routing.
 
         The ``parent_span`` keyword is only passed when the leg span is
         real — contextvars do not cross ``run_in_executor`` / pool
@@ -620,9 +709,20 @@ class ScatterGatherExecutor:
         """
         executor = self.manager.executor_for(shard)
         if leg:
-            result = executor.execute(query, parent_span=leg)
-        else:
-            result = executor.execute(query)
+            return executor.execute(query, parent_span=leg)
+        return executor.execute(query)
+
+    def _shard_execute_many(self, shard: Shard, leg_queries: List,
+                            leg) -> List:
+        """Run one shard's fused ``execute_many`` — overridable leg routing."""
+        executor = self.manager.executor_for(shard)
+        if leg:
+            return executor.execute_many(leg_queries, parent_span=leg)
+        return executor.execute_many(leg_queries)
+
+    def _leg_execute(self, shard: Shard, query, leg) -> QueryResult:
+        """Run one scatter leg and record its span/metric bookkeeping."""
+        result = self._shard_execute(shard, query, leg)
         self._m_legs.inc()
         if leg:
             leg.set("backend", str(result.extra.get("backend", "?")))
@@ -634,12 +734,9 @@ class ScatterGatherExecutor:
     def _leg_execute_many(self, shard: Shard, leg_queries: List, riders: List,
                           leg) -> List:
         """Run one fused-group leg (the shard's own ``execute_many``)."""
-        executor = self.manager.executor_for(shard)
         if leg:
             leg.set("riders", tuple(riders))
-            leg_results = executor.execute_many(leg_queries, parent_span=leg)
-        else:
-            leg_results = executor.execute_many(leg_queries)
+        leg_results = self._shard_execute_many(shard, leg_queries, leg)
         self._m_legs.inc()
         if leg:
             leg.set("tuples_evaluated", sum(
@@ -847,8 +944,9 @@ class ScatterGatherExecutor:
             The historically bare merged keys — ``entries`` / ``hits`` /
             ``misses`` / ``hit_rate`` / ``plans_reused`` — are still
             emitted as aliases of their ``shard_bound_*`` /
-            ``shard_plans_reused`` spellings for one release; read the
-            prefixed names.
+            ``shard_plans_reused`` spellings for one release; reading one
+            through ``[]``/``get`` raises a :class:`DeprecationWarning`
+            (see :class:`DeprecatedAliasStats`); read the prefixed names.
         """
         stats: Dict[str, float] = OrderedDict(self.result_cache.stats())
         summed = ("entries", "hits", "misses", "plans_reused")
@@ -878,10 +976,25 @@ class ScatterGatherExecutor:
         stats["fused_queries"] = float(self.fused_queries)
         stats.update(shard_totals)
         stats["shards_built"] = float(len(built))
-        # Deprecated aliases (one release): the pre-namespacing bare keys.
+        # Deprecated aliases (one release): the pre-namespacing bare keys,
+        # wrapped so reading one warns (iteration stays silent).
         for bare, prefixed in self._DEPRECATED_ALIASES.items():
             stats[bare] = stats[prefixed]
-        return stats
+        return DeprecatedAliasStats(stats, self._DEPRECATED_ALIASES)
+
+    def _metric_registries(self) -> List[MetricsRegistry]:
+        """Every registry :meth:`metrics_snapshot` merges — overridable.
+
+        The base list is this front door's own registry plus every built
+        in-process shard engine's; :class:`ProcessScatterExecutor` extends
+        it with replicas rebuilt from the worker-shipped registry states.
+        """
+        registries = [self.metrics]
+        for executor in self.manager.built_executors().values():
+            registry = getattr(executor, "metrics", None)
+            if registry is not None:
+                registries.append(registry)
+        return registries
 
     def metrics_snapshot(self) -> Dict[str, float]:
         """One flat view over the whole sharded stack's registries.
@@ -893,12 +1006,7 @@ class ScatterGatherExecutor:
         deprecated bare aliases are left out of the fold — the snapshot
         speaks only the namespaced dialect.
         """
-        registries = [self.metrics]
-        for executor in self.manager.built_executors().values():
-            registry = getattr(executor, "metrics", None)
-            if registry is not None:
-                registries.append(registry)
-        snap = merged_snapshot(registries)
+        snap = merged_snapshot(self._metric_registries())
         for name, value in self.cache_stats().items():
             if name in self._DEPRECATED_ALIASES:
                 continue
@@ -916,3 +1024,247 @@ class ScatterGatherExecutor:
         from repro.obs.explain import analyze_with
 
         return analyze_with(self, query, "shard.explain_analyze")
+
+
+class ProcessScatterExecutor(ScatterGatherExecutor):
+    """Scatter/gather whose heavy legs run in per-shard worker *processes*.
+
+    The thread-pool scatter interleaves Python scoring on one core; this
+    executor keeps the same prune/scatter/gather machinery (and the same
+    bit-identical answers) but routes each heavy leg to a long-lived
+    :class:`~repro.shard.worker.ShardWorker` process:
+
+    * workers spawn **lazily**, exactly like the manager's lazy in-process
+      stacks — the first offloaded leg to a shard pays the spawn, later
+      legs reuse the worker;
+    * the shard's relation data is copied **once** into
+      ``multiprocessing.shared_memory`` at spawn; after that, legs send
+      only pickled queries and gather only top-k tuples over a pipe;
+    * the thread/process crossover is priced by the cost model: a scatter
+      offloads only when some shard's
+      :meth:`~repro.engine.cost.CostModel.scatter_leg_cost` exceeds
+      :attr:`~repro.engine.cost.CostModel.process_leg_overhead` (the
+      calibratable per-leg IPC term).  Small relations therefore keep
+      running in-process/threaded — spawning a worker to score a thousand
+      rows would cost more than it saves.  Setting the overhead to ``0``
+      forces processes; ``float("inf")`` forces threads;
+    * with ``parallel=True`` the legs are dispatched on the inherited
+      thread pool; each dispatching thread blocks on its worker's pipe
+      with the GIL released, so N shards score on N cores;
+    * ``insert``/``reshard`` reach workers through the manager's
+      serialized write path: :meth:`_on_mutation` tears down workers whose
+      shard data changed (their shared-memory copy is stale; the next leg
+      respawns them over fresh data) and broadcasts a predicate-aware
+      ``invalidate`` to the untouched ones so worker-side result caches
+      never serve a stale answer;
+    * every reply ships the worker engine's metrics-registry state and
+      ``cache_stats()`` back; :meth:`cache_stats` and
+      :meth:`metrics_snapshot` fold them in alongside the in-process
+      stacks, so observability is one merged view regardless of where a
+      leg ran;
+    * a killed worker surfaces as
+      :class:`~repro.errors.ShardWorkerError` naming the shard and exit
+      code — never a hang — and is respawned on the next leg to that
+      shard.
+
+    Workers rebuild their engines from ``Executor.for_relation`` keyword
+    arguments, so a manager constructed with a custom ``executor_factory``
+    (a closure that cannot be shipped to a spawned process) is rejected at
+    construction time.
+
+    ``mp_context`` selects the multiprocessing start method; the default
+    ``"spawn"`` is safe with the serving layer's threads and ships the
+    parent's ``sys.path`` so workers import this package uninstalled.
+    """
+
+    def __init__(self, manager: ShardManager, parallel: bool = False,
+                 max_workers: Optional[int] = None,
+                 result_cache: Optional[ResultCache] = None,
+                 cost_model: Optional[CostModel] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None, mp_context="spawn") -> None:
+        if manager.has_custom_factory:
+            raise PlanningError(
+                "ProcessScatterExecutor rebuilds shard engines inside "
+                "worker processes from Executor.for_relation keyword "
+                "arguments; a custom executor_factory cannot be shipped "
+                "to a spawned process — use ScatterGatherExecutor (threads) "
+                "for custom shard stacks")
+        super().__init__(manager, parallel=parallel, max_workers=max_workers,
+                         result_cache=result_cache, cost_model=cost_model,
+                         metrics=metrics, tracer=tracer)
+        self._ctx = (multiprocessing.get_context(mp_context)
+                     if isinstance(mp_context, str) else mp_context)
+        self._workers: Dict[int, ShardWorker] = {}
+        self._worker_lock = threading.Lock()
+        #: Latest worker-shipped ``(metrics state, cache stats)`` per
+        #: shard index.  Kept after a worker is torn down so its last
+        #: observed work stays in the merged views until a respawned
+        #: worker reports fresh numbers.
+        self._worker_obs: Dict[int, Tuple[dict, Dict[str, float]]] = {}
+        self._m_proc_legs = self.metrics.counter("shard.process_legs")
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _offload(self, queries: List) -> bool:
+        """Whether this scatter clears the thread/process crossover.
+
+        True when any (query, shard) leg's modeled cost exceeds the
+        per-leg IPC overhead — one heavy leg is enough to offload the
+        whole scatter, keeping every leg of one query (and every rider of
+        one fused leg) in the same mode.
+        """
+        overhead = self.cost_model.process_leg_overhead
+        return any(
+            self.cost_model.scatter_leg_cost(query, shard.stats) > overhead
+            for query in queries for shard in self.manager.shards)
+
+    def _worker_for(self, shard: Shard) -> ShardWorker:
+        """The shard's worker process, spawned on first use, respawned if dead."""
+        with self._worker_lock:
+            worker = self._workers.get(shard.index)
+            if worker is not None and not worker.alive:
+                self._workers.pop(shard.index, None)
+                worker.close()
+                worker = None
+            if worker is None:
+                worker = ShardWorker(shard, self.manager.executor_kwargs,
+                                     self._ctx)
+                self._workers[shard.index] = worker
+            return worker
+
+    def _note_worker_obs(self, index: int, obs) -> None:
+        if obs is not None:
+            with self._worker_lock:
+                self._worker_obs[index] = obs
+
+    def _shard_plan(self, shard: Shard, query) -> QueryPlan:
+        if not self._offload([query]):
+            return super()._shard_plan(shard, query)
+        plan, obs = self._worker_for(shard).request("plan", query)
+        self._note_worker_obs(shard.index, obs)
+        return plan
+
+    def _shard_execute(self, shard: Shard, query, leg) -> QueryResult:
+        if not self._offload([query]):
+            return super()._shard_execute(shard, query, leg)
+        result, obs = self._worker_for(shard).request("execute", query)
+        self._note_worker_obs(shard.index, obs)
+        self._m_proc_legs.inc()
+        if leg:
+            leg.set("worker", "process")
+        return result
+
+    def _shard_execute_many(self, shard: Shard, leg_queries: List,
+                            leg) -> List:
+        if not self._offload(leg_queries):
+            return super()._shard_execute_many(shard, leg_queries, leg)
+        results, obs = self._worker_for(shard).request("execute_many",
+                                                       leg_queries)
+        self._note_worker_obs(shard.index, obs)
+        self._m_proc_legs.inc()
+        if leg:
+            leg.set("worker", "process")
+        return results
+
+    def _scatter_details(self, query, consulted, pruned, shard_backends,
+                         skipped=(), order=None):
+        """The base details plus which mode this query's own cost selects.
+
+        A fused-group rider can piggyback on a heavier member's process
+        leg, so a rider's ``scatter_mode`` reflects its solo choice, not
+        necessarily where every one of its legs ran.
+        """
+        details = super()._scatter_details(query, consulted, pruned,
+                                           shard_backends, skipped, order)
+        details["scatter_mode"] = ("processes" if self._offload([query])
+                                   else "threads")
+        return details
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def _on_mutation(self, row=None) -> None:
+        super()._on_mutation(row=row)
+        with self._worker_lock:
+            workers = list(self._workers.items())
+        shards = {shard.index: shard for shard in self.manager.shards}
+        for index, worker in workers:
+            shard = shards.get(index)
+            stale = (shard is None
+                     or id(shard.relation) != worker.relation_id
+                     or shard.relation.num_tuples != worker.num_rows)
+            if stale:
+                # The worker's shared-memory copy no longer matches the
+                # shard (the row landed there, or a reshard replaced it);
+                # drop it — the next leg respawns over fresh data.
+                with self._worker_lock:
+                    self._workers.pop(index, None)
+                worker.close()
+            else:
+                try:
+                    worker.request("invalidate", row)
+                except ShardWorkerError:
+                    with self._worker_lock:
+                        self._workers.pop(index, None)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        """The merged view of :meth:`ScatterGatherExecutor.cache_stats`,
+        with the worker-shipped per-shard counters folded into the same
+        ``shard_*`` sums as the in-process stacks, plus ``shard_workers``
+        (live worker processes).
+        """
+        stats = super().cache_stats()
+        folds = {"shard_bound_entries": "entries",
+                 "shard_bound_hits": "hits",
+                 "shard_bound_misses": "misses",
+                 "shard_plans_reused": "plans_reused",
+                 "shard_fused_groups": "fused_groups",
+                 "shard_fused_queries": "fused_queries",
+                 "shard_result_entries": "result_entries",
+                 "shard_result_hits": "result_hits",
+                 "shard_result_misses": "result_misses",
+                 "shard_result_invalidations": "result_invalidations"}
+        with self._worker_lock:
+            observed = [cache for _, cache in self._worker_obs.values()]
+            live = sum(1 for worker in self._workers.values() if worker.alive)
+        for cache in observed:
+            for target, source in folds.items():
+                stats[target] += float(cache.get(source, 0.0))
+        lookups = stats["shard_bound_hits"] + stats["shard_bound_misses"]
+        stats["shard_bound_hit_rate"] = (stats["shard_bound_hits"] / lookups
+                                         if lookups else 0.0)
+        stats["shard_workers"] = float(live)
+        for bare, prefixed in self._DEPRECATED_ALIASES.items():
+            stats[bare] = stats[prefixed]
+        return stats
+
+    def _metric_registries(self) -> List[MetricsRegistry]:
+        registries = super()._metric_registries()
+        with self._worker_lock:
+            states = [state for state, _ in self._worker_obs.values()]
+        registries.extend(MetricsRegistry.from_state(state)
+                          for state in states)
+        return registries
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down every worker process, then the thread pools.
+
+        Deterministic: after :meth:`close` returns no worker process is
+        alive and both shared-memory blocks of every worker are unlinked.
+        Like the base class, the executor stays usable — the next
+        offloaded leg respawns its worker.
+        """
+        with self._worker_lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for worker in workers:
+            worker.close()
+        super().close()

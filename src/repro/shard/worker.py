@@ -1,0 +1,283 @@
+"""Per-shard worker processes: the GIL-free side of process scatter.
+
+The thread-pool scatter caps Python scoring at one core no matter how many
+shards exist.  This module moves each shard's engine stack into a
+long-lived worker *process*:
+
+* the shard's columnar block data (its selection and ranking matrices) is
+  shipped **once** at spawn time into
+  :mod:`multiprocessing.shared_memory`-backed numpy arrays — scatter legs
+  send only pickled queries over a pipe and gather only top-k tuples,
+  never the relation;
+* the worker builds its :class:`~repro.engine.Executor` lazily on the
+  first request, exactly like the manager's lazy in-process stacks — a
+  worker whose shard every query prunes never pays index construction;
+* every reply rides the worker-side observability back to the parent: the
+  worker engine's :class:`~repro.obs.metrics.MetricsRegistry` state
+  (raw histogram reservoirs, so merged percentiles pool correctly) and
+  its ``cache_stats()`` mapping.
+
+The request/reply protocol is strictly synchronous per worker — one
+in-flight request per pipe, serialized by :class:`ShardWorker`'s lock —
+and crash-safe: a killed worker surfaces as
+:class:`~repro.errors.ShardWorkerError` (the pipe reports end-of-file
+immediately), never as a hang.  :class:`ShardWorker.close` is
+deterministic: ask the worker to exit, escalate to ``terminate`` if it
+does not, and unlink the shared memory either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShardWorkerError
+from repro.storage.table import Relation, Schema
+
+#: Operations a worker understands.  ``execute``/``execute_many``/``plan``
+#: are the engine front-door surface; ``invalidate`` broadcasts the
+#: manager's cache invalidation (predicate-aware when a row is attached);
+#: ``ping`` checks liveness; ``close`` asks the worker to exit its loop.
+_OPS = ("execute", "execute_many", "plan", "invalidate", "ping", "close")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild its shard: small and picklable.
+
+    The relation itself travels out-of-band through the two named shared
+    memory blocks; the spec carries only the schema, the block names and
+    shapes, and the ``Executor.for_relation`` keyword arguments.
+    """
+
+    schema: Schema
+    relation_name: str
+    selection_shm: str
+    selection_shape: Tuple[int, int]
+    ranking_shm: str
+    ranking_shape: Tuple[int, int]
+    executor_kwargs: Tuple[Tuple[str, object], ...]
+
+
+def shard_worker_main(conn, spec: WorkerSpec) -> None:
+    """Worker-process entry point: attach the shard, serve the pipe.
+
+    Runs until the parent sends ``close`` or its end of the pipe
+    disappears (parent exit), then detaches from the shared memory.  Any
+    exception an operation raises is shipped back as a reply — the worker
+    itself stays up, mirroring how an in-process engine survives a failed
+    query.
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    from repro.engine import Executor
+
+    # On Python <= 3.12 attaching re-registers the block with the resource
+    # tracker; workers share the parent's tracker process (the fd rides the
+    # spawn preparation data) and its cache is a set, so the duplicate
+    # registration is a no-op and the parent's unlink cleans it up — the
+    # worker must NOT unregister, or it would strip the parent's own entry.
+    sel_shm = SharedMemory(name=spec.selection_shm)
+    rank_shm = SharedMemory(name=spec.ranking_shm)
+    selection = np.ndarray(spec.selection_shape, dtype=np.int64,
+                           buffer=sel_shm.buf)
+    ranking = np.ndarray(spec.ranking_shape, dtype=np.float64,
+                         buffer=rank_shm.buf)
+    relation = Relation(spec.schema, selection, ranking,
+                        name=spec.relation_name)
+    executor: Optional[Executor] = None
+    try:
+        while True:
+            try:
+                op, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if op == "close":
+                conn.send(("ok", None, None))
+                break
+            try:
+                if op == "invalidate":
+                    if executor is not None:
+                        executor.invalidate_results(row=payload)
+                    out = None
+                elif op == "ping":
+                    out = relation.num_tuples
+                elif op in ("execute", "execute_many", "plan"):
+                    if executor is None:
+                        executor = Executor.for_relation(
+                            relation, **dict(spec.executor_kwargs))
+                    out = getattr(executor, op)(payload)
+                else:
+                    raise ShardWorkerError(f"unknown worker op {op!r}")
+                stats = None
+                if executor is not None:
+                    stats = (executor.metrics.state(),
+                             dict(executor.cache_stats()))
+                conn.send(("ok", out, stats))
+            except Exception as exc:  # ship the failure, stay alive
+                try:
+                    pickle.dumps(exc)
+                    conn.send(("error", exc, None))
+                except Exception:
+                    conn.send(("error",
+                               ShardWorkerError(
+                                   f"{type(exc).__name__}: {exc}"), None))
+    finally:
+        # Drop the arrays' buffer views before detaching, otherwise
+        # SharedMemory.close() raises about exported memoryview pointers.
+        del selection, ranking, relation, executor
+        sel_shm.close()
+        rank_shm.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class ShardWorker:
+    """Parent-side handle of one shard's worker process.
+
+    Spawning copies the shard's matrices into two fresh shared-memory
+    blocks (this is the *only* time relation data crosses the process
+    boundary) and starts the worker on the configured multiprocessing
+    context.  :meth:`request` is the synchronous RPC surface; it returns
+    ``(result, observability)`` where observability is the worker's
+    ``(metrics state, cache stats)`` pair or ``None`` before the worker
+    engine exists.
+
+    ``relation_id``/``num_rows`` snapshot the shard the worker was built
+    over; :class:`~repro.shard.scatter.ProcessScatterExecutor` compares
+    them after every mutation to decide between a cheap ``invalidate``
+    broadcast (data unchanged) and a teardown (the shard grew or was
+    replaced — the worker's shared-memory copy is stale).
+    """
+
+    def __init__(self, shard, executor_kwargs: Dict[str, object],
+                 ctx: multiprocessing.context.BaseContext) -> None:
+        from multiprocessing.shared_memory import SharedMemory
+
+        relation = shard.relation
+        self.index = int(shard.index)
+        self.relation_id = id(relation)
+        self.num_rows = int(relation.num_tuples)
+        self._lock = threading.Lock()
+        self._alive = False
+        selection = np.ascontiguousarray(relation.selection_matrix(),
+                                         dtype=np.int64)
+        ranking = np.ascontiguousarray(relation.ranking_matrix(),
+                                       dtype=np.float64)
+        # A zero-row shard still needs a 1-byte block: shm size must be > 0.
+        self._sel_shm = SharedMemory(create=True,
+                                     size=max(1, selection.nbytes))
+        self._rank_shm = SharedMemory(create=True,
+                                      size=max(1, ranking.nbytes))
+        if selection.size:
+            np.ndarray(selection.shape, dtype=np.int64,
+                       buffer=self._sel_shm.buf)[:] = selection
+        if ranking.size:
+            np.ndarray(ranking.shape, dtype=np.float64,
+                       buffer=self._rank_shm.buf)[:] = ranking
+        spec = WorkerSpec(
+            schema=relation.schema,
+            relation_name=relation.name,
+            selection_shm=self._sel_shm.name,
+            selection_shape=tuple(selection.shape),
+            ranking_shm=self._rank_shm.name,
+            ranking_shape=tuple(ranking.shape),
+            executor_kwargs=tuple(sorted(executor_kwargs.items())),
+        )
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=shard_worker_main,
+                                   args=(child_conn, spec),
+                                   name=f"repro-shard-worker-{self.index}",
+                                   daemon=True)
+        self.process.start()
+        child_conn.close()
+        self._alive = True
+
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
+    def request(self, op: str, payload=None):
+        """Send one operation and wait for its reply.
+
+        Raises :class:`~repro.errors.ShardWorkerError` when the worker
+        process died (the pipe EOFs immediately — a killed worker is a
+        clear error, never a hang) and re-raises, in the parent, any
+        exception the operation itself raised in the worker.
+        """
+        with self._lock:
+            if not self._alive:
+                raise ShardWorkerError(
+                    f"shard {self.index} worker is closed")
+            try:
+                self._conn.send((op, payload))
+                status, out, stats = self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                self._teardown(terminate=True)
+                code = self.process.exitcode
+                raise ShardWorkerError(
+                    f"shard {self.index} worker process died "
+                    f"(exit code {code}) during {op!r}; the scatter "
+                    f"executor will respawn it on the next leg") from exc
+        if status == "error":
+            if isinstance(out, Exception):
+                raise out
+            raise ShardWorkerError(str(out))
+        return out, stats
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker can still take requests."""
+        return self._alive and self.process.is_alive()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 2.0) -> None:
+        """Stop the worker and release its shared memory.  Idempotent.
+
+        Asks politely first (``close`` op), escalates to ``terminate``
+        when the worker does not exit within ``timeout`` seconds, and
+        unlinks both shared-memory blocks afterwards — the parent created
+        them, so the parent is the one that must unlink them.
+        """
+        with self._lock:
+            if not self._alive:
+                return
+            try:
+                self._conn.send(("close", None))
+                if self._conn.poll(timeout):
+                    self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+            self._teardown(terminate=True, timeout=timeout)
+
+    def _teardown(self, terminate: bool = False, timeout: float = 2.0) -> None:
+        """Close the pipe, reap the process, unlink the memory (lock held)."""
+        self._alive = False
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout)
+        if terminate and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        for shm in (self._sel_shm, self._rank_shm):
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close(timeout=0.5)
+        except Exception:
+            pass

@@ -41,23 +41,36 @@ def pruned_predicate_queries(relation: Relation, dim: str, k: int = 10,
 def make_sharded_engine(relation: Relation, num_shards: int,
                         range_dim: Optional[str] = None,
                         parallel: bool = False,
+                        scatter: str = "threads",
                         **executor_kwargs: object):
     """Wire a relation into a ready-to-query scatter/gather engine.
 
     ``range_dim`` selects equi-width range sharding on that dimension
     (enabling predicate pruning); ``None`` falls back to hash-by-row.
-    Returns ``(manager, engine)``.
+    ``scatter`` picks the leg runtime: ``"threads"`` (the in-process
+    :class:`~repro.shard.scatter.ScatterGatherExecutor`) or
+    ``"processes"`` (:class:`~repro.shard.scatter.ProcessScatterExecutor`
+    — heavy legs in per-shard worker processes over shared memory, with
+    the cost model deciding the crossover per scatter).  Returns
+    ``(manager, engine)``; call ``engine.close()`` (or use the engine as
+    a context manager) when done to tear its pools/workers down.
     """
     from repro.shard import (
         HashShardingPolicy,
+        ProcessScatterExecutor,
         RangeShardingPolicy,
         ScatterGatherExecutor,
         ShardManager,
     )
 
+    if scatter not in ("threads", "processes"):
+        raise ValueError(
+            f"scatter must be 'threads' or 'processes', got {scatter!r}")
     if range_dim is None:
         policy = HashShardingPolicy(num_shards)
     else:
         policy = RangeShardingPolicy(relation, range_dim, num_shards)
     manager = ShardManager(relation, policy, **executor_kwargs)
-    return manager, ScatterGatherExecutor(manager, parallel=parallel)
+    executor_cls = (ProcessScatterExecutor if scatter == "processes"
+                    else ScatterGatherExecutor)
+    return manager, executor_cls(manager, parallel=parallel)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import asyncio
 import sys
+import warnings
 
 import pytest
 
@@ -405,7 +406,7 @@ class TestExplainAnalyzeSharded:
 
 
 class TestCacheStatsAliases:
-    def test_deprecated_aliases_mirror_namespaced_keys(self):
+    def test_deprecated_aliases_mirror_namespaced_keys_and_warn(self):
         _, engine = stratified_engine()
         engine.execute(TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5))
         stats = engine.cache_stats()
@@ -415,7 +416,24 @@ class TestCacheStatsAliases:
                                  ("hit_rate", "shard_bound_hit_rate"),
                                  ("plans_reused", "shard_plans_reused")):
             assert canonical in stats
-            assert stats[alias] == stats[canonical], alias
+            # Reading through the alias works for one release, but warns.
+            with pytest.warns(DeprecationWarning, match=canonical):
+                value = stats[alias]
+            assert value == stats[canonical], alias
+            with pytest.warns(DeprecationWarning, match=canonical):
+                assert stats.get(alias) == value
+
+    def test_canonical_keys_and_iteration_stay_silent(self):
+        _, engine = stratified_engine()
+        engine.execute(TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5))
+        stats = engine.cache_stats()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _ = stats["shard_bound_hits"]
+            _ = stats.get("shard_bound_hit_rate")
+            dict(stats.items())  # snapshot plumbing copies silently
+        assert set(stats.deprecated_keys) == {
+            "entries", "hits", "misses", "hit_rate", "plans_reused"}
 
 
 class TestServedExplainAnalyze:

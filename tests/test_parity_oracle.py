@@ -8,7 +8,9 @@ case the harness asserts that
 
 * the cost-planned engine front door,
 * every registered backend that supports the query, and
-* the scatter/gather path over shard counts {1, 2, 7}
+* the scatter/gather path over shard counts {1, 2, 7}, and
+* the process-scatter path (legs in worker processes over shared memory)
+  over the same shard counts, solo and fused,
 
 return results bit-identical to a brute-force oracle computed straight off
 the relation.  This is the safety net under the cost-based planner: no
@@ -325,6 +327,70 @@ def test_traced_execution_keeps_oracle_parity(universe, spec_index):
         engine.tracer = NULL_TRACER
         for scatter in sharded.values():
             scatter.tracer = NULL_TRACER
+
+
+#: Relations the process-scatter pass replays (a subset: every worker is a
+#: real spawned process, so the full 8-spec sweep would dominate suite
+#: runtime without adding coverage — the scatter *path* is the subject).
+PROCESS_SPEC_INDICES = (1, 3)
+
+
+@pytest.fixture(scope="module")
+def process_universe():
+    """Process-scatter engines over shard counts {1, 2, 7}, legs forced
+    onto worker processes (``process_leg_overhead = 0``)."""
+    from repro.engine.cost import CostModel
+    from repro.shard import ProcessScatterExecutor
+
+    rigs = []
+    engines = []
+    for i in PROCESS_SPEC_INDICES:
+        relation = generate_relation(SPECS[i], name=f"P{i}")
+        sharded = {}
+        for count in SHARD_COUNTS:
+            if count == 2:
+                policy = RangeShardingPolicy(relation,
+                                             relation.selection_dims[0], count)
+            else:
+                policy = HashShardingPolicy(count)
+            # Process mode ships executor kwargs (not a factory closure) to
+            # the workers, so the slim stack is configured via kwargs here.
+            manager = ShardManager(relation, policy, block_size=32,
+                                   with_signature=False, with_skyline=False)
+            cost_model = CostModel()
+            cost_model.process_leg_overhead = 0.0
+            sharded[count] = ProcessScatterExecutor(manager,
+                                                    cost_model=cost_model)
+            engines.append(sharded[count])
+        rng = np.random.default_rng(7000 + i)
+        rigs.append((relation, sharded, _topk_queries(rng, relation)))
+    yield rigs
+    for engine in engines:
+        engine.close()
+
+
+@pytest.mark.parametrize("rig_index", range(len(PROCESS_SPEC_INDICES)))
+def test_process_scatter_oracle_parity_solo_and_fused(process_universe,
+                                                      rig_index):
+    """Worker-process legs are bit-identical to the oracle, solo and fused.
+
+    Every leg crosses a pipe to an executor rebuilt over shared memory in
+    another process — pickling the query, scoring there, shipping top-k
+    back — and none of that round trip may perturb a single tid or score.
+    """
+    relation, sharded, queries = process_universe[rig_index]
+    oracle = [brute_force_topk(relation, query) for query in queries]
+    for count, scatter in sharded.items():
+        for query, (tids, scores) in zip(queries, oracle):
+            gathered = scatter.execute(query)
+            assert gathered.tids == tids, (count, scatter.explain(query))
+            assert gathered.scores == scores, count
+            assert gathered.extra["scatter_mode"] == "processes", count
+        scatter.manager.invalidate_caches()
+        fused = scatter.execute_many(queries)
+        for query, result, (tids, scores) in zip(queries, fused, oracle):
+            assert result.tids == tids, (count, scatter.explain(query))
+            assert result.scores == scores, count
 
 
 @pytest.mark.parametrize("spec_index", range(len(SPECS)))

@@ -1,0 +1,197 @@
+"""Process-based scatter: worker lifecycle, crashes, freshness, crossover.
+
+Behavioral coverage of :class:`~repro.shard.ProcessScatterExecutor` and its
+:class:`~repro.shard.ShardWorker` plumbing — the parity claims (answers
+bit-identical to the brute-force oracle, solo and fused, across shard
+counts {1, 2, 7}) live in ``tests/test_parity_oracle.py``.  Here the
+subjects are the edges:
+
+* a killed worker process surfaces a :class:`ShardWorkerError` naming the
+  shard and exit code instead of hanging, and the next scatter respawns;
+* ``insert`` / ``reshard`` through the manager reach the worker processes
+  (no stale shared-memory answers);
+* the cost model's ``process_leg_overhead`` crossover routes small legs
+  to threads and heavy legs to processes;
+* ``close()`` / context-manager use provably leaves no worker processes
+  and no executor threads behind, and a closed engine stays usable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.engine.cost import CostModel
+from repro.errors import PlanningError, ShardWorkerError
+from repro.functions.linear import sum_function
+from repro.query import Predicate, TopKQuery
+from repro.shard import (
+    HashShardingPolicy,
+    ProcessScatterExecutor,
+    RangeShardingPolicy,
+    ScatterGatherExecutor,
+    ShardManager,
+)
+from repro.workloads import SyntheticSpec, generate_relation
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_relation(SyntheticSpec(
+        num_tuples=400, num_selection_dims=2, num_ranking_dims=2,
+        cardinality=4, seed=21))
+
+
+def forced(overhead: float) -> CostModel:
+    """A cost model pinning the thread/process crossover to one side."""
+    model = CostModel()
+    model.process_leg_overhead = overhead
+    return model
+
+
+def make_process_engine(relation, num_shards=2, overhead=0.0, **kwargs):
+    manager = ShardManager(relation, HashShardingPolicy(num_shards),
+                           block_size=50, with_signature=False,
+                           with_skyline=False)
+    return manager, ProcessScatterExecutor(manager,
+                                           cost_model=forced(overhead),
+                                           **kwargs)
+
+
+def topk(k=5, **conditions):
+    return TopKQuery(Predicate.of(conditions), sum_function(["N1", "N2"]), k)
+
+
+class TestWorkerFailure:
+    def test_killed_worker_surfaces_shard_and_exit_code(self, relation):
+        manager, engine = make_process_engine(relation)
+        with engine:
+            engine.execute(topk())  # spawns both workers
+            worker = engine._workers[0]
+            worker.process.kill()
+            worker.process.join()
+            # A request hitting the dead pipe mid-use must fail loudly —
+            # naming the shard and exit code — never hang on the recv.
+            with pytest.raises(ShardWorkerError,
+                               match=r"shard 0 worker process died "
+                                     r"\(exit code -?\d+\)"):
+                worker.request("ping")
+            # The engine notices the corpse before the next dispatch and
+            # respawns: queries keep flowing after a crash.
+            manager.invalidate_caches()
+            result = engine.execute(topk())
+            assert result.tids
+            assert engine._workers[0] is not worker
+            assert engine._workers[0].alive
+
+    def test_crash_error_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(ShardWorkerError, ReproError)
+
+
+class TestFreshness:
+    def test_insert_through_manager_reaches_workers(self, relation):
+        manager, engine = make_process_engine(relation)
+        with engine:
+            query = topk(k=3, A1=2)
+            engine.execute(query)
+            row = {"A1": 2, "A2": 1, "N1": 0.0, "N2": 0.0}  # new global best
+            global_tid = manager.insert(row)
+            result = engine.execute(query)
+            assert result.extra["scatter_mode"] == "processes"
+            assert result.tids[0] == global_tid
+
+    def test_reshard_rebuilds_workers_and_keeps_answers(self, relation):
+        manager, engine = make_process_engine(relation)
+        with engine:
+            query = topk(k=6, A2=1)
+            before = engine.execute(query)
+            old_workers = dict(engine._workers)
+            manager.reshard(RangeShardingPolicy(relation, "A1", 3))
+            after = engine.execute(query)
+            assert after.tids == before.tids
+            assert after.scores == before.scores
+            # Resharding repartitioned every shard's rows: the old workers'
+            # shared-memory copies are stale and must not survive.
+            assert all(not worker.alive for worker in old_workers.values())
+
+
+class TestCrossover:
+    def test_small_legs_stay_on_threads(self, relation):
+        manager, engine = make_process_engine(relation,
+                                              overhead=float("inf"))
+        with engine:
+            result = engine.execute(topk())
+            assert result.extra["scatter_mode"] == "threads"
+            assert engine.cache_stats()["shard_workers"] == 0.0
+            assert engine._workers == {}
+
+    def test_heavy_legs_offload_to_processes(self, relation):
+        manager, engine = make_process_engine(relation, overhead=0.0)
+        with engine:
+            result = engine.execute(topk())
+            assert result.extra["scatter_mode"] == "processes"
+            assert engine.cache_stats()["shard_workers"] == 2.0
+
+    def test_worker_metrics_fold_into_snapshot(self, relation):
+        _, engine = make_process_engine(relation)
+        with engine:
+            engine.execute(topk(k=4, A1=1))
+            snap = engine.metrics_snapshot()
+            # The per-shard engines live in other processes; their
+            # ``engine.*`` counters ride back on the reply and must fold
+            # into the merged snapshot exactly like in-process stacks do.
+            assert snap.get("engine.queries", 0.0) > 0.0
+            assert snap.get("shard.process_legs", 0.0) >= 2.0
+
+
+class TestLifecycle:
+    def test_context_manager_leaves_no_workers_or_threads(self, relation):
+        threads_before = set(threading.enumerate())
+        manager, engine = make_process_engine(relation, parallel=True)
+        with engine:
+            engine.execute(topk())
+            assert engine.cache_stats()["shard_workers"] == 2.0
+        assert multiprocessing.active_children() == []
+        leaked = set(threading.enumerate()) - threads_before
+        assert leaked == set()
+
+    def test_thread_scatter_close_leaves_no_pool_threads(self, relation):
+        threads_before = set(threading.enumerate())
+        manager = ShardManager(relation, HashShardingPolicy(3),
+                               block_size=50, with_signature=False,
+                               with_skyline=False)
+        with ScatterGatherExecutor(manager, parallel=True) as engine:
+            engine.execute(topk())
+            # Upsizing the pool retires the old one; close() must join the
+            # retired pool's threads too, not only the live pool's.
+            engine.ensure_pool(reserve=4)
+            engine.execute_many([topk(k=2), topk(k=3, A1=1)])
+        leaked = set(threading.enumerate()) - threads_before
+        assert leaked == set()
+
+    def test_closed_engine_is_lazily_reusable(self, relation):
+        manager, engine = make_process_engine(relation)
+        try:
+            first = engine.execute(topk(k=4))
+            engine.close()
+            assert engine._workers == {}
+            manager.invalidate_caches()
+            again = engine.execute(topk(k=4))
+            assert again.tids == first.tids
+            assert again.scores == first.scores
+        finally:
+            engine.close()
+        assert multiprocessing.active_children() == []
+
+    def test_custom_shard_factory_is_rejected(self, relation):
+        from repro.engine import Executor
+
+        manager = ShardManager(
+            relation, HashShardingPolicy(2),
+            executor_factory=lambda rel: Executor.for_relation(rel))
+        with pytest.raises(PlanningError, match="executor_factory"):
+            ProcessScatterExecutor(manager)

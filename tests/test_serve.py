@@ -388,6 +388,65 @@ class TestAdmissionAndDeadlines:
         assert snap["completed"] == 0.0
         assert snap["batched_requests"] == 1.0
 
+    def test_close_drains_backlog_deeper_than_one_batch(self, relation):
+        """Shutdown with 2 x max_batch_size + 1 pending strands nothing.
+
+        The drain loop must keep flushing forced micro-batches until the
+        queue is empty — a backlog deeper than one batch used to leave the
+        overflow waiting forever.  Every submitted request must resolve
+        with a real answer (graceful drain, not failure), bit-identical to
+        direct execution.
+        """
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+        queries = [TopKQuery(Predicate.of(A1=value % 4), function, k)
+                   for value, k in enumerate([2, 3, 4, 5, 6] * 2, start=1)]
+        queries = queries[:2 * 4 + 1]  # 2 x max_batch_size + 1
+        assert len(queries) == 9
+
+        async def run():
+            # A huge linger keeps the deadline trigger from firing: only
+            # close() itself can flush what the size trigger leaves behind.
+            config = ServiceConfig(max_batch_size=4, max_linger=60.0,
+                                   min_linger=60.0)
+            service = QueryService(engine, config)
+            async with service:
+                tasks = [asyncio.ensure_future(service.submit(query))
+                         for query in queries]
+                await asyncio.sleep(0)  # admit all 9; none dispatched yet
+            done, pending = await asyncio.wait(tasks, timeout=10.0)
+            return done, pending, service.stats_snapshot()
+
+        done, pending, snap = asyncio.run(run())
+        assert pending == set()
+        assert len(done) == len(queries)
+        for task in done:
+            assert task.result().tids is not None  # raises if any failed
+        assert snap["completed"] == float(len(queries))
+        assert snap["failed"] == 0.0
+
+    def test_close_drained_answers_match_direct_execution(self, relation):
+        _, engine = make_engine(relation)
+        function = sum_function(["N1", "N2"])
+        queries = [TopKQuery(Predicate.of(A1=value % 4), function, 3 + value)
+                   for value in range(9)]
+
+        async def run():
+            config = ServiceConfig(max_batch_size=4, max_linger=60.0,
+                                   min_linger=60.0)
+            service = QueryService(engine, config)
+            async with service:
+                tasks = [asyncio.ensure_future(service.submit(query))
+                         for query in queries]
+                await asyncio.sleep(0)
+            return await asyncio.gather(*tasks)
+
+        served = asyncio.run(run())
+        for query, result in zip(queries, served):
+            expected = engine.execute(query)
+            assert result.tids == expected.tids
+            assert result.scores == expected.scores
+
     def test_closed_service_rejects_submissions(self, relation):
         _, engine = make_engine(relation)
         query = TopKQuery(Predicate.of(A1=0), sum_function(["N1", "N2"]), 3)
@@ -575,16 +634,17 @@ class TestStatsViews:
         assert stats["shards_built"] == 3.0
         built = manager.built_executors()
         assert len(built) == 3
-        for summed, source in (("hits", "hits"), ("misses", "misses"),
-                               ("entries", "entries"),
-                               ("plans_reused", "plans_reused"),
+        for summed, source in (("shard_bound_hits", "hits"),
+                               ("shard_bound_misses", "misses"),
+                               ("shard_bound_entries", "entries"),
+                               ("shard_plans_reused", "plans_reused"),
                                ("shard_fused_queries", "fused_queries"),
                                ("shard_result_hits", "result_hits")):
             assert stats[summed] == sum(
                 executor.cache_stats()[source] for executor in built.values())
-        lookups = stats["hits"] + stats["misses"]
-        assert stats["hit_rate"] == (stats["hits"] / lookups if lookups
-                                     else 0.0)
+        lookups = stats["shard_bound_hits"] + stats["shard_bound_misses"]
+        assert stats["shard_bound_hit_rate"] == (
+            stats["shard_bound_hits"] / lookups if lookups else 0.0)
 
     def test_lazily_pruned_shards_stay_unbuilt_in_stats(self, relation):
         manager, engine = make_engine(relation, num_shards=3)
