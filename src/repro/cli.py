@@ -6,15 +6,19 @@ Commands
     Print every experiment id with its description.
 ``run-experiments [--only id,id,...] [--output report.md]``
     Run experiments and print (or write) a markdown report.
-``demo [--shards N] [--scatter threads|processes] [--planner cost|static]``
+``demo [--shards N] [--scatter threads|processes] [--planner cost|static] [--chaos SEED] [--allow-partial]``
     Build a small ranking cube and run one query end to end — a smoke test
     that the installation works.  ``--shards N`` routes the same queries
     through the scatter/gather engine over N range shards instead;
     ``--scatter processes`` runs heavy shard legs in per-shard worker
     processes (shared-memory data, GIL-free scoring); ``--planner static``
     swaps the statistics-driven cost-based backend selection for the
-    legacy (priority, name) order.
-``serve [--shards N] [--scatter threads|processes] [--clients C] [--queries Q] [--linger MS]``
+    legacy (priority, name) order.  ``--chaos SEED`` plants seeded worker
+    crashes and delays in the scatter legs (retries and per-shard circuit
+    breakers recover; answers stay exact); ``--allow-partial`` degrades to
+    the exact answer over surviving shards instead of failing when a shard
+    stays down.
+``serve [--shards N] [--scatter threads|processes] [--clients C] [--queries Q] [--linger MS] [--chaos SEED] [--allow-partial]``
     Start an async :class:`~repro.serve.QueryService` over the engine and
     drive C concurrent clients of Q queries each through it, then print
     the merged metrics-registry snapshot (``serve.*`` + ``shard.*`` +
@@ -72,6 +76,42 @@ def _cmd_run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_kwargs(args: argparse.Namespace) -> dict:
+    """Scatter-engine fault kwargs for the ``--chaos`` / ``--allow-partial``
+    flags: a seeded injector whose fault cap sits safely below the retry
+    attempts, so the chaos demo provably converges to correct answers."""
+    kwargs: dict = {"allow_partial": bool(getattr(args, "allow_partial",
+                                                  False))}
+    chaos = getattr(args, "chaos", None)
+    if chaos is not None:
+        from repro.fault import BreakerPolicy, FaultInjector, RetryPolicy
+
+        kwargs["fault_injector"] = FaultInjector(
+            seed=chaos,
+            rates={"worker.crash.pre": 0.25, "worker.crash.post": 0.1,
+                   "leg.delay": 0.1},
+            max_faults=8, delay_seconds=0.002)
+        kwargs["retry_policy"] = RetryPolicy(
+            max_attempts=10, base_delay=0.002, cap_delay=0.02,
+            jitter_seed=chaos)
+        # The breaker threshold sits above the fault cap: with at most 8
+        # injected faults no shard can ever see enough consecutive
+        # failures to trip, so the chaos demo provably converges to
+        # exact answers for any seed.
+        kwargs["breaker_policy"] = BreakerPolicy(failure_threshold=10,
+                                                 cooldown=1.0)
+    return kwargs
+
+
+def _print_fault_report(engine, injector) -> None:
+    fired = {point: count for point, count in injector.fired.items() if count}
+    print(f"chaos: injected {injector.total_fired} faults {fired}")
+    snap = engine.metrics.snapshot()
+    counters = {name: value for name, value in sorted(snap.items())
+                if name.startswith(("fault.", "breaker.")) and value}
+    print(f"fault counters: {counters}")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.engine import Executor
     from repro.functions import LinearFunction
@@ -87,13 +127,21 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if num_shards > 1:
         from repro.workloads import make_sharded_engine
 
+        fault_kwargs = _fault_kwargs(args)
         _, executor = make_sharded_engine(relation, num_shards, range_dim="A1",
                                           scatter=scatter, block_size=200,
-                                          planner_mode=planner_mode)
+                                          planner_mode=planner_mode,
+                                          **fault_kwargs)
         close_engine = executor.close
         print(f"engine: scatter/gather over {num_shards} range shards on A1 "
               f"({scatter})")
+        if fault_kwargs.get("fault_injector") is not None:
+            print(f"chaos: seed {args.chaos} — injected worker crashes and "
+                  f"delays, recovered by retries/breakers")
     else:
+        if getattr(args, "chaos", None) is not None:
+            print("note: --chaos injects faults into scatter legs; it needs "
+                  "--shards > 1 and is ignored unsharded", file=sys.stderr)
         executor = Executor.for_relation(relation, block_size=200,
                                          planner_mode=planner_mode)
     query = TopKQuery(Predicate.of(A1=1, A2=2),
@@ -114,12 +162,18 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if num_shards > 1:
         print(f"shards consulted: {result.extra['shards_consulted']} "
               f"(pruned: {result.extra['shards_pruned']})")
+        if "degraded" in result.extra:
+            print(f"DEGRADED answer: shards_failed="
+                  f"{result.extra['shards_failed']} "
+                  f"completeness={result.extra['completeness']:.2f}")
     print(f"{result.disk_accesses} block accesses, "
           f"{result.states_generated} blocks examined")
 
     skyline = executor.execute(SkylineQuery(Predicate.of(A1=1), ("N1", "N2")))
     print(f"skyline for A1=1 over (N1, N2): {len(skyline)} points "
           f"via {skyline.backend}")
+    if num_shards > 1 and getattr(executor, "fault_injector", None) is not None:
+        _print_fault_report(executor, executor.fault_injector)
     if close_engine is not None:
         close_engine()
     return 0
@@ -141,13 +195,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_tuples=5000, num_selection_dims=3, num_ranking_dims=2,
         cardinality=10))
     if args.shards > 1:
+        fault_kwargs = _fault_kwargs(args)
         manager, engine = make_sharded_engine(
             relation, args.shards, range_dim="A1", scatter=args.scatter,
-            block_size=200, with_signature=False, with_skyline=False)
+            block_size=200, with_signature=False, with_skyline=False,
+            **fault_kwargs)
         print(f"engine: scatter/gather over {args.shards} range shards on A1 "
               f"({args.scatter})")
+        if fault_kwargs.get("fault_injector") is not None:
+            print(f"chaos: seed {args.chaos} — serving through injected "
+                  f"worker crashes and delays")
     else:
         manager = None
+        if getattr(args, "chaos", None) is not None:
+            print("note: --chaos injects faults into scatter legs; it needs "
+                  "--shards > 1 and is ignored unsharded", file=sys.stderr)
         engine = Executor.for_relation(relation, block_size=200,
                                        with_signature=False,
                                        with_skyline=False)
@@ -168,6 +230,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     snap = asyncio.run(run())
     total = args.clients * args.queries
     print(f"served {total} queries from {args.clients} concurrent clients")
+    if getattr(engine, "fault_injector", None) is not None:
+        _print_fault_report(engine, engine.fault_injector)
     print("metrics (merged across serve, shards, engine):")
     print(json.dumps(snap, indent=2, sort_keys=True))
     return 0
@@ -251,6 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="backend selection mode: statistics-driven cost "
                            "estimates (default) or the static (priority, "
                            "name) order")
+    demo.add_argument("--chaos", type=int, metavar="SEED", default=None,
+                      help="inject seeded worker crashes/delays into the "
+                           "scatter legs (requires --shards > 1); retries "
+                           "and breakers recover, answers stay exact")
+    demo.add_argument("--allow-partial", action="store_true",
+                      help="degrade to the exact answer over surviving "
+                           "shards when one stays down, instead of failing "
+                           "the query")
     demo.set_defaults(handler=_cmd_demo)
 
     serve = sub.add_parser(
@@ -270,6 +342,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--linger", type=float, default=5.0,
                        help="micro-batcher max linger in milliseconds "
                             "(default: 5)")
+    serve.add_argument("--chaos", type=int, metavar="SEED", default=None,
+                       help="inject seeded worker crashes/delays into the "
+                            "scatter legs while serving (requires "
+                            "--shards > 1)")
+    serve.add_argument("--allow-partial", action="store_true",
+                       help="degrade to exact answers over surviving shards "
+                            "when one stays down, instead of failing "
+                            "requests")
     serve.set_defaults(handler=_cmd_serve)
 
     analyze = sub.add_parser(

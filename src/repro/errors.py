@@ -61,10 +61,51 @@ class PlanningError(QueryError):
 
 
 class ShardWorkerError(ReproError):
-    """A shard's worker process failed (died, was killed, or misbehaved).
+    """A shard's scatter leg failed (worker died, hung, or misbehaved).
 
-    Raised by the process-scatter layer instead of hanging on a dead
-    pipe; the message names the shard and the worker's exit code so the
-    failure is actionable.  The dead worker is discarded — the next
+    Raised by the scatter layer instead of hanging on a dead or wedged
+    pipe; the message names the shard (and exit code, for a death) so
+    the failure is actionable.  The dead worker is discarded — the next
     scatter leg to that shard respawns a fresh one.
+
+    ``shard_index`` names the failing shard (``None`` when unknown) and
+    ``timed_out`` distinguishes a *hung* worker killed by the bounded
+    pipe ``recv`` from a worker that died on its own — callers deciding
+    whether to retry can treat a wedge differently from a crash.
     """
+
+    def __init__(self, message: str, *, shard_index=None,
+                 timed_out: bool = False) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.timed_out = timed_out
+
+
+class DeadlineExceededError(ReproError):
+    """A per-request deadline elapsed while the query was executing.
+
+    Raised by the scatter layer when the deadline riding a request
+    expires between (or inside) scatter legs; the serving layer maps it
+    to its own :class:`~repro.serve.errors.RequestTimeoutError`.
+    """
+
+
+class PartialBatchError(ReproError):
+    """Some queries of an ``execute_many`` batch failed; the rest completed.
+
+    Fused-batch failure containment: a scatter leg failing for one fused
+    group fails only that group's queries, never the whole batch.
+    ``results`` is aligned with the submitted batch (``None`` at failed
+    positions) and ``errors`` maps each failed position to the exception
+    that sank it, so callers — the serving layer's dispatcher above all —
+    can resolve every query individually instead of stranding or failing
+    the survivors.
+    """
+
+    def __init__(self, results, errors) -> None:
+        failed = ", ".join(str(i) for i in sorted(errors))
+        super().__init__(
+            f"{len(errors)} of {len(results)} batch queries failed "
+            f"(positions {failed}); the remaining results are attached")
+        self.results = results
+        self.errors = errors

@@ -1,0 +1,52 @@
+"""Fault tolerance: deadlines, retries, circuit breakers, chaos injection.
+
+The scatter/serve stack assumes shards answer; this package is what
+happens when one does not.  Four orthogonal pieces, composed by the
+scatter layer (:class:`~repro.shard.scatter.ScatterGatherExecutor` and
+its process subclass) and the serving front door:
+
+* :class:`~repro.fault.deadline.Deadline` — a per-request absolute
+  deadline that rides into every scatter leg; thread legs check it
+  between shards, process legs convert it into a bounded pipe ``recv``
+  so a *hung* worker is killed and respawned instead of blocking;
+* :class:`~repro.fault.retry.RetryPolicy` — exponential backoff with
+  full jitter and a per-call :class:`~repro.fault.retry.RetryBudget`,
+  re-running legs that failed with
+  :class:`~repro.errors.ShardWorkerError` against the respawned worker;
+* :class:`~repro.fault.breaker.CircuitBreaker` (per shard, configured
+  by :class:`~repro.fault.breaker.BreakerPolicy`) — N consecutive leg
+  failures open the breaker: fail-fast
+  :class:`~repro.fault.breaker.BreakerOpenError` (or degrade-away under
+  ``allow_partial``) until a half-open probe closes it again;
+* :class:`~repro.fault.inject.FaultInjector` — seeded, named-point
+  chaos (worker crash pre/post leg, hung pipe, reply corruption, leg
+  delay) so every recovery path above is deterministically testable.
+
+See ``docs/fault_tolerance.md`` for the failure model and the degraded
+result contract (``extra["degraded"]`` / ``extra["shards_failed"]`` /
+``extra["completeness"]``).
+"""
+
+from repro.errors import DeadlineExceededError, PartialBatchError
+from repro.fault.breaker import (
+    BreakerOpenError,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from repro.fault.deadline import Deadline
+from repro.fault.inject import INJECTION_POINTS, FaultInjector, InjectedFaultError
+from repro.fault.retry import RetryBudget, RetryPolicy
+
+__all__ = [
+    "BreakerOpenError",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceededError",
+    "FaultInjector",
+    "INJECTION_POINTS",
+    "InjectedFaultError",
+    "PartialBatchError",
+    "RetryBudget",
+    "RetryPolicy",
+]

@@ -32,6 +32,7 @@ from repro.serve.errors import (
     ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
+    ShardUnavailableError,
 )
 from repro.serve.service import QueryService
 from repro.serve.stats import ServiceStats, percentile
@@ -46,5 +47,6 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceConfig",
     "ServiceStats",
+    "ShardUnavailableError",
     "percentile",
 ]

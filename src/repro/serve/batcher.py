@@ -54,6 +54,12 @@ class QueuedRequest:
     #: the batch's engine spans under it instead of the batch trace, so
     #: the analyzed request renders one tree from queue wait to gather.
     span: Optional[object] = field(default=None)
+    #: The request's absolute :class:`~repro.fault.deadline.Deadline`,
+    #: minted at admission from the submit timeout.  The dispatcher
+    #: propagates it into the engine (when every live batch member has
+    #: one) so scatter legs — including process workers' pipe waits —
+    #: are bounded by the same clock the client is waiting on.
+    deadline: Optional[object] = field(default=None)
 
 
 class MicroBatcher:

@@ -23,3 +23,16 @@ class ServiceOverloadedError(ServeError):
 
 class RequestTimeoutError(ServeError):
     """The per-request deadline elapsed before a result was produced."""
+
+
+class ShardUnavailableError(ServeError):
+    """A shard stayed down through the engine's whole recovery ladder.
+
+    The serving layer maps an engine-raised
+    :class:`~repro.errors.ShardWorkerError` — exhausted retries, an open
+    circuit breaker, a hung worker killed at the recv bound — to this
+    typed error, so clients can tell capacity rejections
+    (:class:`ServiceOverloadedError`), deadline misses
+    (:class:`RequestTimeoutError`), and shard loss apart without parsing
+    messages.  The original engine error rides along as ``__cause__``.
+    """

@@ -39,6 +39,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Mapping, Optional, Set
 
+from repro.errors import (
+    DeadlineExceededError,
+    PartialBatchError,
+    ShardWorkerError,
+)
+from repro.fault.deadline import Deadline
 from repro.obs.metrics import MetricsRegistry, merged_snapshot
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.batcher import MicroBatcher, QueuedRequest
@@ -48,6 +54,7 @@ from repro.serve.errors import (
     ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
+    ShardUnavailableError,
 )
 from repro.serve.stats import ServiceStats
 
@@ -123,13 +130,15 @@ class QueryService:
                 clock=clock)
         else:
             self.tracer = NULL_TRACER
-        # Whether the engine's execute_many accepts parent_span — custom
-        # duck-typed engines without the keyword keep working untraced.
+        # Whether the engine's execute_many accepts parent_span /
+        # deadline — custom duck-typed engines without the keywords keep
+        # working untraced and unbounded.
         try:
-            self._engine_takes_span = "parent_span" in \
-                inspect.signature(engine.execute_many).parameters
+            params = inspect.signature(engine.execute_many).parameters
         except (TypeError, ValueError):  # builtins / odd callables
-            self._engine_takes_span = False
+            params = {}
+        self._engine_takes_span = "parent_span" in params
+        self._engine_takes_deadline = "deadline" in params
         self.batcher = MicroBatcher(self.config.max_batch_size,
                                     self.config.max_linger,
                                     self.config.min_linger,
@@ -248,16 +257,22 @@ class QueryService:
     # ------------------------------------------------------------------
     # admission / submission
     # ------------------------------------------------------------------
-    def _admit(self, query) -> QueuedRequest:
+    def _admit(self, query, timeout=None) -> QueuedRequest:
         self._require_running()
         if len(self.batcher) >= self.config.max_pending:
             self.stats.record_rejection()
             raise ServiceOverloadedError(
                 f"request queue at its high-water mark "
                 f"({self.config.max_pending} pending); retry later")
+        # The submit timeout becomes an absolute deadline at admission —
+        # from here on, queue wait, batching linger, and engine legs all
+        # draw down the same clock the client is waiting on.
+        deadline = (Deadline.after(float(timeout), clock=self._clock)
+                    if timeout is not None else None)
         request = QueuedRequest(query=query,
                                 future=self._loop.create_future(),
-                                enqueued_at=self._clock())
+                                enqueued_at=self._clock(),
+                                deadline=deadline)
         self.batcher.append(request)
         self.stats.record_admission()
         self._wake.set()
@@ -272,8 +287,16 @@ class QueryService:
         discarded if already in flight — and
         :class:`~repro.serve.errors.RequestTimeoutError` is raised.
         Cancelling the awaiting task likewise abandons the request.
+
+        The timeout also rides into the engine as a deadline (when it
+        supports one — see ``_dispatch``): scatter legs check it between
+        shards and process workers' pipe waits are bounded by it, so a
+        hung worker cannot keep burning engine capacity long after every
+        client stopped waiting.
         """
-        request = self._admit(query)
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout
+        request = self._admit(query, timeout)
         return await self._await_request(request, timeout)
 
     async def _await_request(self, request: QueuedRequest, timeout):
@@ -308,16 +331,16 @@ class QueryService:
         the admission error propagates.  ``timeout`` spans the whole
         batch.
         """
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout
         requests: List[QueuedRequest] = []
         try:
             for query in queries:
-                requests.append(self._admit(query))
+                requests.append(self._admit(query, timeout))
         except ServeError:
             for request in requests:
                 request.future.cancel()
             raise
-        if timeout is _UNSET:
-            timeout = self.config.default_timeout
         if timeout is None:
             return list(await asyncio.gather(
                 *(request.future for request in requests)))
@@ -393,6 +416,17 @@ class QueryService:
             # Explicit parenthood: contextvars do not cross
             # run_in_executor threads, a keyword does.
             engine_call = functools.partial(engine_call, parent_span=parent)
+        if self._engine_takes_deadline:
+            # Propagate a deadline only when every live member carries
+            # one, and use the *latest*: the engine bound must never
+            # fire before some member's own submit timeout would — a
+            # shorter-deadline peer is already protected by its asyncio
+            # wait, which abandons its future without killing the batch.
+            deadlines = [request.deadline for request in live]
+            if all(deadline is not None for deadline in deadlines):
+                engine_call = functools.partial(
+                    engine_call,
+                    deadline=max(deadlines, key=lambda d: d.at))
         async with self._engine_sem:
             await self._engine_enter()
             acquired: List[asyncio.Semaphore] = []
@@ -418,11 +452,20 @@ class QueryService:
                              .set("batch_size", len(live))
                              .finish(end=dispatched_at))
                 self.stats.record_batch(len(live))
-                results = await self._in_executor(engine_call, queries)
+                try:
+                    results = await self._in_executor(engine_call, queries)
+                    errors: dict = {}
+                except PartialBatchError as exc:
+                    # Failure containment (scatter layer): some positions
+                    # failed, the rest completed — resolve per request
+                    # instead of failing the whole batch.
+                    results = exc.results
+                    errors = exc.errors
             except Exception as exc:
+                mapped = self._map_engine_error(exc)
                 for request in live:
                     if not request.future.done():
-                        request.future.set_exception(exc)
+                        request.future.set_exception(mapped)
                         self.stats.record_failure()
                     elif (request.future.cancelled()
                           and not request.timed_out):
@@ -436,7 +479,15 @@ class QueryService:
         now = self._clock()
         batch_span.finish(end=now)
         batch_size = float(len(live))
-        for request, result in zip(live, results):
+        for position, (request, result) in enumerate(zip(live, results)):
+            error = errors.get(position)
+            if error is not None:
+                if not request.future.done():
+                    request.future.set_exception(self._map_engine_error(error))
+                    self.stats.record_failure()
+                elif request.future.cancelled() and not request.timed_out:
+                    self.stats.record_cancellation()
+                continue
             queue_wait = dispatched_at - request.enqueued_at
             result.extra["queue_wait"] = queue_wait
             result.extra["batch_size"] = batch_size
@@ -449,6 +500,30 @@ class QueryService:
                 # Abandoned while the batch was already executing: the
                 # result is discarded, but the cancellation still counts.
                 self.stats.record_cancellation()
+
+    def _map_engine_error(self, exc: Exception) -> Exception:
+        """Type an engine failure for clients of the serving layer.
+
+        Exhausted retries, open breakers, and hung-then-killed workers
+        all surface from the engine as
+        :class:`~repro.errors.ShardWorkerError`; clients of the service
+        get the serving-layer :class:`ShardUnavailableError` instead
+        (original attached as ``__cause__``).  An engine-side deadline
+        miss becomes :class:`RequestTimeoutError` — the same type the
+        submit path raises for a queue-side miss.  Everything else
+        passes through untouched.
+        """
+        if isinstance(exc, ShardWorkerError):
+            mapped: Exception = ShardUnavailableError(
+                f"shard unavailable after engine-side recovery: {exc}")
+            mapped.__cause__ = exc
+            return mapped
+        if isinstance(exc, DeadlineExceededError):
+            mapped = RequestTimeoutError(
+                f"request deadline exceeded inside the engine: {exc}")
+            mapped.__cause__ = exc
+            return mapped
+        return exc
 
     def _current_pool(self) -> ThreadPoolExecutor:
         """The pool to dispatch on *right now* (engine pools can be grown)."""
@@ -621,7 +696,9 @@ class QueryService:
 
         tracer = Tracer(ring_size=1, clock=self._clock)
         root = tracer.trace("serve.request")
-        request = self._admit(query)
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout
+        request = self._admit(query, timeout)
         request.span = root
         result = await self._await_request(request, timeout)
         root.finish()

@@ -27,12 +27,26 @@ The gathered result's ``extra`` records the shards consulted, the shards
 pruned with their reasons, the legs skipped by the gather bound, the leg
 order, and the backend each consulted shard chose — the whole scatter is
 explainable end-to-end, just like a single-engine plan.
+
+Scatter legs are additionally *fault-tolerant* (see :mod:`repro.fault`):
+a per-call :class:`~repro.fault.deadline.Deadline` is checked between
+legs and converted into bounded pipe waits on process legs; a
+:class:`~repro.fault.retry.RetryPolicy` re-runs failed legs with
+jittered exponential backoff under a budget; per-shard
+:class:`~repro.fault.breaker.CircuitBreaker`\\ s fail persistent
+offenders fast; and ``allow_partial`` degrades a scatter with dead
+shards into the exact answer over the survivors (flagged in ``extra``)
+instead of failing the whole query.  None of this machinery can change
+an answer — a retried leg recomputes the same deterministic result, a
+degraded result is exactly the oracle restricted to surviving shards,
+and degraded results are never stored in the result cache.
 """
 
 from __future__ import annotations
 
 import heapq
 import multiprocessing
+import random
 import threading
 import time
 import warnings
@@ -56,7 +70,14 @@ from repro.engine.plan import (
     QueryPlan,
 )
 from repro.engine.registry import kind_of
-from repro.errors import PlanningError, ShardWorkerError
+from repro.errors import (
+    DeadlineExceededError,
+    PartialBatchError,
+    PlanningError,
+    ShardWorkerError,
+)
+from repro.fault.breaker import BreakerOpenError, CircuitBreaker
+from repro.fault.inject import InjectedFaultError
 from repro.obs.metrics import MetricsRegistry, merged_snapshot
 from repro.obs.trace import NULL_SPAN, NULL_TRACER
 from repro.query import QueryResult, TopKQuery, topk_order_key
@@ -64,6 +85,53 @@ from repro.shard.manager import Shard, ShardManager
 from repro.shard.worker import ShardWorker
 from repro.skyline.dominance import skyline_of, transform_dynamic
 from repro.skyline.engine import SkylineResult
+
+
+class _LegLedger:
+    """Per-gathered-result record of leg attempts and final failures.
+
+    One ledger backs one gathered :class:`~repro.query.QueryResult` —
+    the solo scatter keeps one, a fused group keeps one per rider (a
+    failed leg only taints the riders it carried).  Thread-safe because
+    parallel legs of one scatter write concurrently.
+    """
+
+    __slots__ = ("attempts", "failed", "errors", "_lock")
+
+    def __init__(self) -> None:
+        #: shard index -> leg runs (0: refused by an open breaker).
+        self.attempts: Dict[int, int] = {}
+        #: ``(shard index, short reason)`` per finally-failed leg.
+        self.failed: List[Tuple[int, str]] = []
+        #: The failing exceptions, in failure order.
+        self.errors: List[Exception] = []
+        self._lock = threading.Lock()
+
+    def note_attempts(self, index: int, runs: int) -> None:
+        with self._lock:
+            self.attempts[index] = self.attempts.get(index, 0) + runs
+
+    def note_failure(self, index: int, reason: str, exc: Exception) -> None:
+        with self._lock:
+            self.failed.append((index, reason))
+            self.errors.append(exc)
+
+
+class _FaultContext:
+    """One front-door call's fault posture: deadline, partiality, budget.
+
+    Created per ``execute``/``execute_many`` call (``None`` when no
+    fault machinery is configured — the legacy zero-overhead path); the
+    retry budget inside is shared by every leg of the call, so many
+    flapping shards cannot multiply per-leg patience.
+    """
+
+    __slots__ = ("deadline", "allow_partial", "budget")
+
+    def __init__(self, deadline, allow_partial: bool, policy) -> None:
+        self.deadline = deadline
+        self.allow_partial = bool(allow_partial)
+        self.budget = policy.new_budget() if policy is not None else None
 
 
 class DeprecatedAliasStats(dict):
@@ -122,6 +190,24 @@ class ScatterGatherExecutor:
         The :class:`~repro.engine.cost.CostModel` ordering sequential
         top-k scatter legs and bounding the gather (default: a fresh
         model with the stock constants).
+    retry_policy:
+        A :class:`~repro.fault.retry.RetryPolicy` re-running failed legs
+        with jittered exponential backoff (default: no retries — a leg
+        failure propagates on the first attempt).
+    breaker_policy:
+        A :class:`~repro.fault.breaker.BreakerPolicy` configuring lazy
+        per-shard circuit breakers (default: no breakers).
+    fault_injector:
+        A :class:`~repro.fault.inject.FaultInjector` planting seeded
+        chaos in the legs (thread legs raise
+        :class:`~repro.fault.inject.InjectedFaultError`; process legs
+        hand the injector to their workers for real crashes and hangs).
+    allow_partial:
+        Default partiality: when a shard stays down past retries (or
+        its breaker is open), gather the exact answer over the surviving
+        shards — flagged ``degraded`` in ``extra`` — instead of raising.
+        Per-call ``allow_partial=`` overrides; ``False`` keeps the
+        strict raise-on-failure contract.
     """
 
     def __init__(self, manager: ShardManager, parallel: bool = False,
@@ -129,7 +215,11 @@ class ScatterGatherExecutor:
                  result_cache: Optional[ResultCache] = None,
                  cost_model: Optional[CostModel] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 retry_policy=None,
+                 breaker_policy=None,
+                 fault_injector=None,
+                 allow_partial: bool = False) -> None:
         self.manager = manager
         self.parallel = parallel
         self.max_workers = max_workers
@@ -160,6 +250,43 @@ class ScatterGatherExecutor:
         self._m_pruned = self.metrics.counter("shard.shards_pruned")
         self._m_tuples = self.metrics.counter("shard.tuples_evaluated")
         self._m_latency = self.metrics.histogram("shard.latency_seconds")
+        # --- fault tolerance (see repro.fault) -------------------------
+        self.retry_policy = retry_policy
+        self.breaker_policy = breaker_policy
+        self.fault_injector = fault_injector
+        self.allow_partial = bool(allow_partial)
+        #: Jitter RNG for retry backoff; seeded from the policy so chaos
+        #: runs replay the same sleeps.  Guarded by a lock — parallel
+        #: legs draw concurrently and Random is not thread-safe.
+        self._retry_rng = (random.Random(retry_policy.jitter_seed)
+                           if retry_policy is not None else random.Random())
+        self._jitter_lock = threading.Lock()
+        #: Backoff sleep hook — tests stub it to assert delays without
+        #: paying them.
+        self._sleep = time.sleep
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        #: Clock handed to lazily built breakers (tests pin a fake one
+        #: before the first leg to step cooldowns deterministically).
+        self._breaker_clock = time.monotonic
+        #: Whether the injector fires *in the legs themselves* (thread
+        #: mode).  ProcessScatterExecutor turns this off and attaches
+        #: the injector to its workers instead, so injected crashes are
+        #: real process deaths, not simulated exceptions.
+        self._leg_injection = True
+        self._m_retries = self.metrics.counter("fault.retries")
+        self._m_leg_failures = self.metrics.counter("fault.leg_failures")
+        self._m_hung = self.metrics.counter("fault.hung_legs")
+        self._m_deadline = self.metrics.counter("fault.deadline_exceeded")
+        self._m_degraded = self.metrics.counter("fault.degraded_results")
+        self._m_shards_failed = self.metrics.counter("fault.shards_failed")
+        self._m_budget_exhausted = self.metrics.counter(
+            "fault.retry_budget_exhausted")
+        self._m_breaker_opened = self.metrics.counter("breaker.opened")
+        self._m_breaker_closed = self.metrics.counter("breaker.closed")
+        self._m_breaker_probes = self.metrics.counter(
+            "breaker.half_open_probes")
+        self._m_breaker_rejected = self.metrics.counter("breaker.rejected")
         manager.add_invalidation_hook(self._on_mutation)
 
     def _on_mutation(self, row=None) -> None:
@@ -382,9 +509,181 @@ class ScatterGatherExecutor:
         return {"scatter-gather"} if list(queries) else set()
 
     # ------------------------------------------------------------------
+    # fault machinery
+    # ------------------------------------------------------------------
+    def _fault_context(self, deadline, allow_partial) -> Optional[_FaultContext]:
+        """The call's fault posture, or ``None`` for the legacy fast path."""
+        partial = (self.allow_partial if allow_partial is None
+                   else bool(allow_partial))
+        if (deadline is None and not partial and self.retry_policy is None
+                and self.breaker_policy is None
+                and self.fault_injector is None):
+            return None
+        return _FaultContext(deadline, partial, self.retry_policy)
+
+    def _check_deadline(self, ctx: Optional[_FaultContext],
+                        context: str) -> None:
+        """Raise (and count) when the call's deadline has passed."""
+        if ctx is None or ctx.deadline is None:
+            return
+        if ctx.deadline.expired():
+            self._m_deadline.inc()
+            raise DeadlineExceededError(f"deadline exceeded before {context}")
+
+    def _on_breaker_event(self, event: str, shard_index: int) -> None:
+        if event == "opened":
+            self._m_breaker_opened.inc()
+        elif event == "closed":
+            self._m_breaker_closed.inc()
+        elif event == "half_open_probe":
+            self._m_breaker_probes.inc()
+
+    def _breaker_for(self, index: int) -> Optional[CircuitBreaker]:
+        """The shard's breaker, built lazily; ``None`` without a policy."""
+        if self.breaker_policy is None:
+            return None
+        with self._breaker_lock:
+            breaker = self._breakers.get(index)
+            if breaker is None:
+                breaker = CircuitBreaker(index, self.breaker_policy,
+                                         clock=self._breaker_clock,
+                                         on_event=self._on_breaker_event)
+                self._breakers[index] = breaker
+            return breaker
+
+    def _retry_delay(self, attempts: int,
+                     ctx: _FaultContext) -> Optional[float]:
+        """Backoff before re-running a failed leg, or ``None`` to give up.
+
+        ``None`` when retries are off, attempts are exhausted, the
+        deadline has no room left, or the call's retry budget cannot
+        cover the sleep.  A granted delay is capped by the deadline's
+        remaining time — sleeping past it would turn a recoverable leg
+        failure into a guaranteed deadline miss.
+        """
+        policy = self.retry_policy
+        if policy is None or attempts >= policy.max_attempts:
+            return None
+        with self._jitter_lock:
+            delay = policy.backoff(attempts, self._retry_rng)
+        if ctx.deadline is not None:
+            remaining = ctx.deadline.remaining()
+            if remaining <= 0.0:
+                return None
+            delay = min(delay, remaining)
+        if ctx.budget is not None and not ctx.budget.consume(delay):
+            self._m_budget_exhausted.inc()
+            return None
+        return delay
+
+    def _record_leg_failure(self, shard: Shard, exc: Exception,
+                            attempts: int, ledgers, leg) -> None:
+        """Book a finally-failed leg into its riders' ledgers and span."""
+        reason = type(exc).__name__
+        if getattr(exc, "timed_out", False):
+            reason += ":timed_out"
+        self._m_shards_failed.inc()
+        for ledger in ledgers:
+            ledger.note_attempts(shard.index, attempts)
+            ledger.note_failure(shard.index, reason, exc)
+        if leg:
+            leg.set("failed", reason)
+
+    def _guarded(self, shard: Shard, runner, ctx: Optional[_FaultContext],
+                 ledgers, leg):
+        """Run one leg under deadline/breaker/retry/injection guards.
+
+        With no fault context this is a plain ``runner()`` — the
+        pre-fault zero-overhead path.  Otherwise the leg loops: deadline
+        checked first (expiry always raises, even under
+        ``allow_partial`` — a late answer is not a partial answer), the
+        shard's breaker consulted (an open breaker refuses fail-fast,
+        spending no attempts and no budget), then the leg runs; a
+        :class:`~repro.errors.ShardWorkerError` feeds the breaker and —
+        backoff permitting — retries against the (respawned) worker.
+        The final failure is booked into the riders' ledgers and
+        re-raised; the caller decides between propagating (strict) and
+        degrading (partial).
+        """
+        if ctx is None:
+            return runner()
+        breaker = self._breaker_for(shard.index)
+        injector = self.fault_injector
+        attempts = 0
+        while True:
+            self._check_deadline(ctx, f"scatter leg to shard {shard.index}")
+            if breaker is not None and not breaker.allow():
+                self._m_breaker_rejected.inc()
+                error = BreakerOpenError(shard.index, breaker.retry_after())
+                self._record_leg_failure(shard, error, attempts, ledgers, leg)
+                raise error
+            attempts += 1
+            try:
+                if injector is not None:
+                    if injector.fires("leg.delay"):
+                        self._sleep(injector.delay_seconds)
+                    if (self._leg_injection
+                            and injector.fires("worker.crash.pre")):
+                        raise InjectedFaultError("worker.crash.pre",
+                                                 shard.index)
+                result = runner()
+                if (injector is not None and self._leg_injection
+                        and injector.fires("worker.crash.post")):
+                    raise InjectedFaultError("worker.crash.post", shard.index)
+            except ShardWorkerError as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                self._m_leg_failures.inc()
+                if getattr(exc, "timed_out", False):
+                    self._m_hung.inc()
+                delay = self._retry_delay(attempts, ctx)
+                if delay is None:
+                    self._record_leg_failure(shard, exc, attempts, ledgers,
+                                             leg)
+                    raise
+                self._m_retries.inc()
+                if leg:
+                    leg.set(f"retry_{attempts}", type(exc).__name__)
+                if delay > 0.0:
+                    self._sleep(delay)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            for ledger in ledgers:
+                ledger.note_attempts(shard.index, attempts)
+            if leg and attempts > 1:
+                leg.set("attempts", attempts)
+            return result
+
+    def _apply_fault_extra(self, result, ctx: Optional[_FaultContext],
+                           ledger: Optional[_LegLedger],
+                           planned: int) -> None:
+        """Decorate a gathered result with the call's fault record.
+
+        ``leg_attempts`` appears whenever the machinery ran; the
+        degraded triple (``degraded`` / ``shards_failed`` /
+        ``completeness``) only when legs were lost — its presence *is*
+        the partial-result signal.
+        """
+        if ctx is None or ledger is None:
+            return
+        if ledger.attempts:
+            result.extra["leg_attempts"] = ",".join(
+                f"{index}:{count}"
+                for index, count in sorted(ledger.attempts.items()))
+        if ledger.failed:
+            self._m_degraded.inc()
+            result.extra["degraded"] = 1.0
+            result.extra["shards_failed"] = "|".join(
+                f"{index}:{reason}" for index, reason in ledger.failed)
+            result.extra["completeness"] = (
+                (planned - len(ledger.failed)) / planned if planned else 1.0)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, query, *, parent_span=None, use_result_cache=True):
+    def execute(self, query, *, parent_span=None, use_result_cache=True,
+                deadline=None, allow_partial=None):
         """Prune, scatter, execute per shard, and gather one merged result.
 
         ``parent_span`` threads an enabled trace through: the tree gains
@@ -393,6 +692,13 @@ class ScatterGatherExecutor:
         reason) and a ``shard.gather`` child.  ``use_result_cache=False``
         bypasses the front-door result cache both ways — the
         ``explain_analyze`` contract.
+
+        ``deadline`` (a :class:`~repro.fault.deadline.Deadline`) bounds
+        the whole call: it is checked before every leg and tightens
+        process legs' pipe waits, and its expiry raises
+        :class:`~repro.errors.DeadlineExceededError` — never a partial
+        answer.  ``allow_partial`` overrides the executor's default
+        partiality for this call (see the class docstring).
         """
         self._check_base_relation()
         span = (parent_span.child("shard.execute")
@@ -401,6 +707,8 @@ class ScatterGatherExecutor:
         started = time.perf_counter()
         self._m_queries.inc()
         try:
+            ctx = self._fault_context(deadline, allow_partial)
+            self._check_deadline(ctx, "scatter")
             key = query_cache_key(query) if use_result_cache else None
             if key is not None:
                 key = (self._cache_scope,) + key
@@ -408,12 +716,12 @@ class ScatterGatherExecutor:
                 if hit is not None:
                     span.set("result_cache", "hit")
                     return hit
-            return self._execute_miss(query, key, span)
+            return self._execute_miss(query, key, span, ctx)
         finally:
             self._m_latency.observe(time.perf_counter() - started)
             span.finish()
 
-    def _execute_miss(self, query, key, span=NULL_SPAN):
+    def _execute_miss(self, query, key, span=NULL_SPAN, ctx=None):
         """The scatter/gather body of :meth:`execute` after a cache miss."""
         start = time.perf_counter()
         consulted, pruned = self._scatter_set(query)
@@ -422,13 +730,22 @@ class ScatterGatherExecutor:
             span.set("shards_pruned", tuple(pruned))
         kind = kind_of(query)
         planned_order = self._leg_order(query, consulted)
+        planned = len(consulted)
+        ledger = _LegLedger() if ctx is not None else None
         skipped: Tuple[Tuple[int, str], ...] = ()
         if (kind == KIND_TOPK and not self.parallel
                 and isinstance(query, TopKQuery) and len(consulted) > 1):
             consulted, shard_results, skipped = self._run_shards_bounded(
-                planned_order, query, span)
+                planned_order, query, span, ctx, ledger)
         else:
-            shard_results = self._run_shards(consulted, query, span)
+            consulted, shard_results = self._run_shards(consulted, query,
+                                                        span, ctx, ledger)
+        if (ledger is not None and ledger.failed and not consulted
+                and planned):
+            # Every consulted shard failed: there is nothing to degrade
+            # to — even a partial call must fail rather than answer
+            # "empty" from zero evidence.
+            raise ledger.errors[-1]
         gather_span = span.child("shard.gather")
         if kind == KIND_TOPK:
             result = self._gather_topk(query, consulted, shard_results)
@@ -451,11 +768,15 @@ class ScatterGatherExecutor:
             f"pruned={result.extra['shards_pruned']} "
             f"skipped={result.extra['shards_skipped']} "
             f"backends={result.extra['shard_backends']}]")
-        if key is not None:
+        self._apply_fault_extra(result, ctx, ledger, planned)
+        if key is not None and (ledger is None or not ledger.failed):
+            # A degraded result is exact only over the surviving shards;
+            # caching it would keep serving the gap after recovery.
             self.result_cache.store(key, result)
         return result
 
-    def execute_many(self, queries: Iterable, *, parent_span=None) -> List:
+    def execute_many(self, queries: Iterable, *, parent_span=None,
+                     deadline=None, allow_partial=None) -> List:
         """Execute a batch of queries with one scatter leg per shard.
 
         Results come back in submission order and bit-identical to looping
@@ -474,6 +795,13 @@ class ScatterGatherExecutor:
         and answers stay bit-identical.  Gathered results record
         ``fused_group_size``, the legs' aggregated ``plans_reused``, and
         the solo-equivalent ``tuples_evaluated`` in ``extra``.
+
+        Failures are *contained*: a leg failure for one fused group (or
+        one single) fails only that group's queries — the rest of the
+        batch completes — and the batch raises
+        :class:`~repro.errors.PartialBatchError` carrying the completed
+        results aligned with the failed positions' exceptions.  A batch
+        with no failures returns plainly, exactly as before.
         """
         queries = list(queries)
         if not queries:
@@ -488,8 +816,10 @@ class ScatterGatherExecutor:
         try:
             if span:
                 span.set("batch_size", len(queries))
+            ctx = self._fault_context(deadline, allow_partial)
             results, units, _, followers = partition_batch(
                 queries, self._cache_scope, self.result_cache)
+            errors: Dict[int, Exception] = {}
 
             groups: Dict[tuple, List[int]] = {}
             singles: List[int] = []
@@ -505,32 +835,51 @@ class ScatterGatherExecutor:
                     continue
                 self.fused_groups += 1
                 self.fused_queries += len(members)
-                group_results = self._execute_group(
-                    [units[position] for position in members], span)
+                try:
+                    group_results = self._execute_group(
+                        [units[position] for position in members], span, ctx)
+                except (ShardWorkerError, DeadlineExceededError) as exc:
+                    for position in members:
+                        errors[units[position][0]] = exc
+                    continue
                 for position, result in zip(members, group_results):
-                    results[units[position][0]] = result
+                    i = units[position][0]
+                    if isinstance(result, Exception):
+                        errors[i] = result
+                    else:
+                        results[i] = result
             for position in sorted(singles):
                 i, query, key = units[position]
-                results[i] = self._run_single(query, key, span)
+                try:
+                    results[i] = self._run_single(query, key, span, ctx)
+                except (ShardWorkerError, DeadlineExceededError) as exc:
+                    errors[i] = exc
             for i, query, key in followers:
                 hit = self.result_cache.lookup(key)
-                results[i] = (hit if hit is not None
-                              else self._run_single(query, key, span))
+                if hit is not None:
+                    results[i] = hit
+                    continue
+                try:
+                    results[i] = self._run_single(query, key, span, ctx)
+                except (ShardWorkerError, DeadlineExceededError) as exc:
+                    errors[i] = exc
+            if errors:
+                raise PartialBatchError(results, errors)
             return results
         finally:
             self._m_latency.observe(time.perf_counter() - started)
             span.finish()
 
-    def _run_single(self, query, key, span=NULL_SPAN):
+    def _run_single(self, query, key, span=NULL_SPAN, ctx=None):
         """One ungrouped batch member under its own ``shard.execute`` span."""
         single_span = (span.child("shard.execute") if span else NULL_SPAN)
         try:
-            return self._execute_miss(query, key, single_span)
+            return self._execute_miss(query, key, single_span, ctx)
         finally:
             single_span.finish()
 
     def _execute_group(self, group: List[Tuple[int, object, Optional[tuple]]],
-                       span=NULL_SPAN) -> List[QueryResult]:
+                       span=NULL_SPAN, ctx=None) -> List[QueryResult]:
         """Scatter one same-function top-k group with one leg per shard.
 
         Per-query prune decisions are taken exactly as in :meth:`execute`;
@@ -546,6 +895,13 @@ class ScatterGatherExecutor:
         member skipped by the k-th-score bound shows up on the leg as a
         ``skipped_q<i>`` attribute, and a leg every member dropped is
         recorded with ``skipped="all riders"`` instead of running.
+
+        Fault handling is per *rider*: a failed leg taints only the
+        members it carried.  Under ``allow_partial`` those members
+        degrade to the surviving legs' answer; a member whose every leg
+        failed comes back as its exception *in the returned list* (the
+        caller maps it into :class:`~repro.errors.PartialBatchError`).
+        Strict mode re-raises the leg failure for the whole group.
         """
         start = time.perf_counter()
         group_queries = [query for _, query, _ in group]
@@ -568,6 +924,13 @@ class ScatterGatherExecutor:
         gathered: List[List[float]] = [[] for _ in group]
         skipped: List[List[Tuple[int, str]]] = [[] for _ in group]
         executed: List[List[Tuple[Shard, QueryResult]]] = [[] for _ in group]
+        ledgers = ([_LegLedger() for _ in group] if ctx is not None
+                   else None)
+
+        def rider_ledgers(riders):
+            return ([ledgers[qi] for qi in riders] if ledgers is not None
+                    else ())
+
         sequential = not self.parallel
         if sequential:
             for shard in order:
@@ -575,6 +938,8 @@ class ScatterGatherExecutor:
                            if shard.index in consulted_sets[qi]]
                 if not carried:
                     continue
+                self._check_deadline(ctx,
+                                     f"fused leg to shard {shard.index}")
                 leg = (group_span.child("shard.leg")
                        .set("shard", shard.index) if group_span
                        else NULL_SPAN)
@@ -592,8 +957,14 @@ class ScatterGatherExecutor:
                 if not riders:
                     leg.set("skipped", "all riders").finish()
                     continue
-                leg_results = self._leg_execute_many(
-                    shard, [group_queries[qi] for qi in riders], riders, leg)
+                try:
+                    leg_results = self._leg_execute_many(
+                        shard, [group_queries[qi] for qi in riders], riders,
+                        leg, ctx, rider_ledgers(riders))
+                except ShardWorkerError:
+                    if ctx is None or not ctx.allow_partial:
+                        raise
+                    continue
                 for qi, result in zip(riders, leg_results):
                     executed[qi].append((shard, result))
                     self._fold_gathered(gathered[qi], result,
@@ -606,6 +977,7 @@ class ScatterGatherExecutor:
                 if riders:
                     legs.append((shard, riders))
             if legs:
+                self._check_deadline(ctx, "fused scatter dispatch")
                 leg_spans = ([group_span.child("shard.leg")
                               .set("shard", shard.index)
                               for shard, _ in legs] if group_span
@@ -613,9 +985,14 @@ class ScatterGatherExecutor:
 
                 def run_leg(pair):
                     (shard, riders), leg = pair
-                    return self._leg_execute_many(
-                        shard, [group_queries[qi] for qi in riders],
-                        riders, leg)
+                    try:
+                        return self._leg_execute_many(
+                            shard, [group_queries[qi] for qi in riders],
+                            riders, leg, ctx, rider_ledgers(riders))
+                    except ShardWorkerError:
+                        if ctx is None or not ctx.allow_partial:
+                            raise
+                        return None
 
                 if len(legs) > 1:
                     leg_outputs = list(self.ensure_pool().map(
@@ -624,6 +1001,8 @@ class ScatterGatherExecutor:
                     leg_outputs = [run_leg(pair)
                                    for pair in zip(legs, leg_spans)]
                 for (shard, riders), leg_results in zip(legs, leg_outputs):
+                    if leg_results is None:
+                        continue
                     for qi, result in zip(riders, leg_results):
                         executed[qi].append((shard, result))
         group_span.finish()
@@ -633,6 +1012,13 @@ class ScatterGatherExecutor:
         merged_rows = 0
         out: List[QueryResult] = []
         for qi, (i, query, key) in enumerate(group):
+            if (ledgers is not None and ledgers[qi].failed
+                    and not executed[qi]):
+                # Every leg carrying this rider failed: nothing survives
+                # to degrade to — report the rider's failure, not an
+                # empty answer (the caller maps it per batch position).
+                out.append(ledgers[qi].errors[-1])
+                continue
             legs_run = sorted(executed[qi], key=lambda pair: pair[0].index)
             consulted = [shard for shard, _ in legs_run]
             shard_results = [result for _, result in legs_run]
@@ -664,7 +1050,11 @@ class ScatterGatherExecutor:
                 float(res.extra.get("tuples_evaluated",
                                     res.tuples_evaluated))
                 for res in shard_results)
-            if key is not None:
+            self._apply_fault_extra(result, ctx,
+                                    ledgers[qi] if ledgers else None,
+                                    len(consulted_sets[qi]))
+            if key is not None and (ledgers is None
+                                    or not ledgers[qi].failed):
                 self.result_cache.store(key, result)
             out.append(result)
         (gather_span.set("group_size", len(group))
@@ -699,13 +1089,17 @@ class ScatterGatherExecutor:
         """
         return self.manager.executor_for(shard).plan(query)
 
-    def _shard_execute(self, shard: Shard, query, leg) -> QueryResult:
+    def _shard_execute(self, shard: Shard, query, leg,
+                       deadline=None) -> QueryResult:
         """Run ``query`` on one shard's engine — overridable leg routing.
 
         The ``parent_span`` keyword is only passed when the leg span is
         real — contextvars do not cross ``run_in_executor`` / pool
         threads, so explicit parenthood is the one reliable channel — and
         custom shard stacks without the keyword keep working untraced.
+        ``deadline`` is advisory for in-process legs (a running leg is
+        not interruptible); :class:`ProcessScatterExecutor` converts it
+        into a bounded pipe wait.
         """
         executor = self.manager.executor_for(shard)
         if leg:
@@ -713,16 +1107,27 @@ class ScatterGatherExecutor:
         return executor.execute(query)
 
     def _shard_execute_many(self, shard: Shard, leg_queries: List,
-                            leg) -> List:
+                            leg, deadline=None) -> List:
         """Run one shard's fused ``execute_many`` — overridable leg routing."""
         executor = self.manager.executor_for(shard)
         if leg:
             return executor.execute_many(leg_queries, parent_span=leg)
         return executor.execute_many(leg_queries)
 
-    def _leg_execute(self, shard: Shard, query, leg) -> QueryResult:
-        """Run one scatter leg and record its span/metric bookkeeping."""
-        result = self._shard_execute(shard, query, leg)
+    def _leg_execute(self, shard: Shard, query, leg, ctx=None,
+                     ledgers=()) -> QueryResult:
+        """Run one scatter leg (guarded) and record its span bookkeeping."""
+        deadline = ctx.deadline if ctx is not None else None
+        if deadline is None:
+            runner = lambda: self._shard_execute(shard, query, leg)
+        else:
+            runner = lambda: self._shard_execute(shard, query, leg,
+                                                 deadline=deadline)
+        try:
+            result = self._guarded(shard, runner, ctx, ledgers, leg)
+        except BaseException:
+            leg.finish()
+            raise
         self._m_legs.inc()
         if leg:
             leg.set("backend", str(result.extra.get("backend", "?")))
@@ -732,11 +1137,21 @@ class ScatterGatherExecutor:
         return result
 
     def _leg_execute_many(self, shard: Shard, leg_queries: List, riders: List,
-                          leg) -> List:
+                          leg, ctx=None, ledgers=()) -> List:
         """Run one fused-group leg (the shard's own ``execute_many``)."""
         if leg:
             leg.set("riders", tuple(riders))
-        leg_results = self._shard_execute_many(shard, leg_queries, leg)
+        deadline = ctx.deadline if ctx is not None else None
+        if deadline is None:
+            runner = lambda: self._shard_execute_many(shard, leg_queries, leg)
+        else:
+            runner = lambda: self._shard_execute_many(shard, leg_queries,
+                                                      leg, deadline=deadline)
+        try:
+            leg_results = self._guarded(shard, runner, ctx, ledgers, leg)
+        except BaseException:
+            leg.finish()
+            raise
         self._m_legs.inc()
         if leg:
             leg.set("tuples_evaluated", sum(
@@ -746,30 +1161,51 @@ class ScatterGatherExecutor:
         return leg_results
 
     def _run_shards(self, consulted: List[Shard], query,
-                    span=NULL_SPAN) -> List:
-        """Per-shard results aligned with ``consulted``.
+                    span=NULL_SPAN, ctx=None, ledger=None,
+                    ) -> Tuple[List[Shard], List]:
+        """Surviving shards and their results, in ``consulted`` order.
 
         The thread pool is created once on first parallel use and reused
         for the executor's lifetime — per-query pool startup would dominate
         small scattered queries.  Leg spans are opened on the calling
         thread (the span list is lock-protected) and finished by whichever
-        thread runs the leg.
+        thread runs the leg.  Without fault machinery the returned shard
+        list is exactly ``consulted``; under ``allow_partial`` a finally
+        failed leg drops its shard from the gather (booked in the
+        ledger) instead of raising.
         """
+        ledgers = (ledger,) if ledger is not None else ()
+
+        def run(shard, leg):
+            try:
+                return self._leg_execute(shard, query, leg, ctx, ledgers)
+            except ShardWorkerError:
+                if ctx is None or not ctx.allow_partial:
+                    raise
+                return None
+
         if self.parallel and len(consulted) > 1:
             # Parallel legs: spans open when the legs are dispatched (their
             # durations include pool queueing, which is real wait).
             legs = ([span.child("shard.leg").set("shard", shard.index)
                      for shard in consulted] if span
                     else [NULL_SPAN] * len(consulted))
-            return list(self.ensure_pool().map(
-                lambda pair: self._leg_execute(pair[0], query, pair[1]),
+            outputs = list(self.ensure_pool().map(
+                lambda pair: run(pair[0], pair[1]),
                 zip(consulted, legs)))
-        results = []
-        for shard in consulted:
-            leg = (span.child("shard.leg").set("shard", shard.index)
-                   if span else NULL_SPAN)
-            results.append(self._leg_execute(shard, query, leg))
-        return results
+        else:
+            outputs = []
+            for shard in consulted:
+                self._check_deadline(ctx,
+                                     f"scatter leg to shard {shard.index}")
+                leg = (span.child("shard.leg").set("shard", shard.index)
+                       if span else NULL_SPAN)
+                outputs.append(run(shard, leg))
+        survivors = [(shard, result)
+                     for shard, result in zip(consulted, outputs)
+                     if result is not None]
+        return ([shard for shard, _ in survivors],
+                [result for _, result in survivors])
 
     def _leg_skip_reason(self, shard: Shard, query: TopKQuery,
                          gathered: List[float]) -> Optional[str]:
@@ -800,7 +1236,7 @@ class ScatterGatherExecutor:
             del gathered[k:]
 
     def _run_shards_bounded(self, ordered: List[Shard], query: TopKQuery,
-                            span=NULL_SPAN,
+                            span=NULL_SPAN, ctx=None, ledger=None,
                             ) -> Tuple[List[Shard], List[QueryResult],
                                        Tuple[Tuple[int, str], ...]]:
         """Cost-ordered sequential scatter with bound-based leg skipping.
@@ -823,7 +1259,9 @@ class ScatterGatherExecutor:
         gathered: List[float] = []  # k smallest scores seen so far, sorted
         executed: List[Tuple[Shard, QueryResult]] = []
         skipped: List[Tuple[int, str]] = []
+        ledgers = (ledger,) if ledger is not None else ()
         for shard in ordered:
+            self._check_deadline(ctx, f"scatter leg to shard {shard.index}")
             reason = self._leg_skip_reason(shard, query, gathered)
             if reason is not None:
                 skipped.append((shard.index, reason))
@@ -834,7 +1272,12 @@ class ScatterGatherExecutor:
                 continue
             leg = (span.child("shard.leg").set("shard", shard.index)
                    if span else NULL_SPAN)
-            result = self._leg_execute(shard, query, leg)
+            try:
+                result = self._leg_execute(shard, query, leg, ctx, ledgers)
+            except ShardWorkerError:
+                if ctx is None or not ctx.allow_partial:
+                    raise
+                continue
             executed.append((shard, result))
             self._fold_gathered(gathered, result, query.k)
         executed.sort(key=lambda pair: pair[0].index)
@@ -1075,6 +1518,17 @@ class ProcessScatterExecutor(ScatterGatherExecutor):
     ``mp_context`` selects the multiprocessing start method; the default
     ``"spawn"`` is safe with the serving layer's threads and ships the
     parent's ``sys.path`` so workers import this package uninstalled.
+
+    ``recv_timeout`` bounds every worker reply wait (default two
+    minutes — generous enough that no honest leg ever trips it, tight
+    enough that a genuinely wedged worker always surfaces; ``None``
+    restores the old unbounded wait).  A per-request deadline tightens
+    the bound further, and a worker that misses it is killed — reported
+    with ``timed_out=True`` — and respawned on the next leg.  The fault
+    kwargs inherited from the base class apply here too, with one
+    difference: an attached ``fault_injector`` is handed to the workers,
+    so injected crashes are real process deaths and injected hangs are
+    real unresponsive pipes.
     """
 
     def __init__(self, manager: ShardManager, parallel: bool = False,
@@ -1082,7 +1536,12 @@ class ProcessScatterExecutor(ScatterGatherExecutor):
                  result_cache: Optional[ResultCache] = None,
                  cost_model: Optional[CostModel] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer=None, mp_context="spawn") -> None:
+                 tracer=None, mp_context="spawn",
+                 recv_timeout: Optional[float] = 120.0,
+                 retry_policy=None,
+                 breaker_policy=None,
+                 fault_injector=None,
+                 allow_partial: bool = False) -> None:
         if manager.has_custom_factory:
             raise PlanningError(
                 "ProcessScatterExecutor rebuilds shard engines inside "
@@ -1092,7 +1551,16 @@ class ProcessScatterExecutor(ScatterGatherExecutor):
                 "for custom shard stacks")
         super().__init__(manager, parallel=parallel, max_workers=max_workers,
                          result_cache=result_cache, cost_model=cost_model,
-                         metrics=metrics, tracer=tracer)
+                         metrics=metrics, tracer=tracer,
+                         retry_policy=retry_policy,
+                         breaker_policy=breaker_policy,
+                         fault_injector=fault_injector,
+                         allow_partial=allow_partial)
+        self.recv_timeout = recv_timeout
+        # Injection moves into the workers: crashes are real process
+        # deaths there, and legs that stay in-process (below the
+        # thread/process crossover) run un-injected.
+        self._leg_injection = False
         self._ctx = (multiprocessing.get_context(mp_context)
                      if isinstance(mp_context, str) else mp_context)
         self._workers: Dict[int, ShardWorker] = {}
@@ -1130,7 +1598,9 @@ class ProcessScatterExecutor(ScatterGatherExecutor):
                 worker = None
             if worker is None:
                 worker = ShardWorker(shard, self.manager.executor_kwargs,
-                                     self._ctx)
+                                     self._ctx,
+                                     recv_timeout=self.recv_timeout,
+                                     injector=self.fault_injector)
                 self._workers[shard.index] = worker
             return worker
 
@@ -1146,10 +1616,24 @@ class ProcessScatterExecutor(ScatterGatherExecutor):
         self._note_worker_obs(shard.index, obs)
         return plan
 
-    def _shard_execute(self, shard: Shard, query, leg) -> QueryResult:
+    def _leg_timeout(self, deadline) -> Optional[float]:
+        """The pipe-wait bound for one leg: recv timeout ∧ deadline room.
+
+        A request deadline tightens (never loosens) the configured
+        ``recv_timeout``, so a hung worker is detected within whichever
+        bound is closer.
+        """
+        if deadline is None:
+            return None  # the worker applies its own recv_timeout
+        return deadline.bound(self.recv_timeout)
+
+    def _shard_execute(self, shard: Shard, query, leg,
+                       deadline=None) -> QueryResult:
         if not self._offload([query]):
-            return super()._shard_execute(shard, query, leg)
-        result, obs = self._worker_for(shard).request("execute", query)
+            return super()._shard_execute(shard, query, leg,
+                                          deadline=deadline)
+        result, obs = self._worker_for(shard).request(
+            "execute", query, timeout=self._leg_timeout(deadline))
         self._note_worker_obs(shard.index, obs)
         self._m_proc_legs.inc()
         if leg:
@@ -1157,11 +1641,12 @@ class ProcessScatterExecutor(ScatterGatherExecutor):
         return result
 
     def _shard_execute_many(self, shard: Shard, leg_queries: List,
-                            leg) -> List:
+                            leg, deadline=None) -> List:
         if not self._offload(leg_queries):
-            return super()._shard_execute_many(shard, leg_queries, leg)
-        results, obs = self._worker_for(shard).request("execute_many",
-                                                       leg_queries)
+            return super()._shard_execute_many(shard, leg_queries, leg,
+                                               deadline=deadline)
+        results, obs = self._worker_for(shard).request(
+            "execute_many", leg_queries, timeout=self._leg_timeout(deadline))
         self._note_worker_obs(shard.index, obs)
         self._m_proc_legs.inc()
         if leg:

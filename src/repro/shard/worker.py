@@ -21,9 +21,19 @@ The request/reply protocol is strictly synchronous per worker — one
 in-flight request per pipe, serialized by :class:`ShardWorker`'s lock —
 and crash-safe: a killed worker surfaces as
 :class:`~repro.errors.ShardWorkerError` (the pipe reports end-of-file
-immediately), never as a hang.  :class:`ShardWorker.close` is
-deterministic: ask the worker to exit, escalate to ``terminate`` if it
-does not, and unlink the shared memory either way.
+immediately), never as a hang.  A *wedged* worker (alive but not
+answering) is bounded too: ``recv_timeout`` caps every reply wait, and
+a worker that misses it is killed and reported with
+``ShardWorkerError.timed_out`` set — the scatter executor respawns it
+on the next leg.  :class:`ShardWorker.close` is deterministic: ask the
+worker to exit, escalate to ``terminate`` if it does not, and unlink
+the shared memory either way.
+
+For chaos testing, a :class:`~repro.fault.inject.FaultInjector` can be
+attached: leg requests then deterministically suffer pre/post-leg
+worker kills, real hung pipes (the worker naps through the ``hang``
+op), and discarded "corrupted" replies — every failure the retry and
+breaker layers must recover from, replayable from a seed.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -42,8 +53,16 @@ from repro.storage.table import Relation, Schema
 #: Operations a worker understands.  ``execute``/``execute_many``/``plan``
 #: are the engine front-door surface; ``invalidate`` broadcasts the
 #: manager's cache invalidation (predicate-aware when a row is attached);
-#: ``ping`` checks liveness; ``close`` asks the worker to exit its loop.
-_OPS = ("execute", "execute_many", "plan", "invalidate", "ping", "close")
+#: ``ping`` checks liveness; ``hang`` naps (fault injection: a simulated
+#: wedge the bounded recv must catch); ``close`` asks the worker to exit
+#: its loop.
+_OPS = ("execute", "execute_many", "plan", "invalidate", "ping", "hang",
+        "close")
+
+#: Leg-shaped operations the fault injector may sabotage.  Lifecycle and
+#: invalidation traffic is never injected — chaos must not break the
+#: write path's correctness contract, only exercise leg recovery.
+_INJECTABLE_OPS = ("execute", "execute_many")
 
 
 @dataclass(frozen=True)
@@ -107,6 +126,12 @@ def shard_worker_main(conn, spec: WorkerSpec) -> None:
                     out = None
                 elif op == "ping":
                     out = relation.num_tuples
+                elif op == "hang":
+                    # Fault injection: a genuine wedge.  The worker naps
+                    # through the request, so only the parent's bounded
+                    # recv (not a cooperative error reply) can surface it.
+                    time.sleep(float(payload))
+                    out = None
                 elif op in ("execute", "execute_many", "plan"):
                     if executor is None:
                         executor = Executor.for_relation(
@@ -155,14 +180,24 @@ class ShardWorker:
     them after every mutation to decide between a cheap ``invalidate``
     broadcast (data unchanged) and a teardown (the shard grew or was
     replaced — the worker's shared-memory copy is stale).
+
+    ``recv_timeout`` bounds every reply wait (per-request ``timeout``
+    overrides it, e.g. from a request deadline): a worker that misses
+    the bound is killed and reported with a ``timed_out`` error, so a
+    wedged worker can never stall the parent indefinitely.  ``injector``
+    attaches deterministic chaos to leg requests only.
     """
 
     def __init__(self, shard, executor_kwargs: Dict[str, object],
-                 ctx: multiprocessing.context.BaseContext) -> None:
+                 ctx: multiprocessing.context.BaseContext,
+                 recv_timeout: Optional[float] = None,
+                 injector=None) -> None:
         from multiprocessing.shared_memory import SharedMemory
 
         relation = shard.relation
         self.index = int(shard.index)
+        self.recv_timeout = recv_timeout
+        self._injector = injector
         self.relation_id = id(relation)
         self.num_rows = int(relation.num_tuples)
         self._lock = threading.Lock()
@@ -203,33 +238,105 @@ class ShardWorker:
     # ------------------------------------------------------------------
     # RPC
     # ------------------------------------------------------------------
-    def request(self, op: str, payload=None):
-        """Send one operation and wait for its reply.
+    def request(self, op: str, payload=None,
+                timeout: Optional[float] = None):
+        """Send one operation and wait (boundedly) for its reply.
+
+        ``timeout`` overrides the worker's ``recv_timeout`` for this
+        request — the scatter layer passes the request deadline's
+        remaining time here, so a per-request deadline tightens the
+        bound and a hung worker is detected within it.
 
         Raises :class:`~repro.errors.ShardWorkerError` when the worker
         process died (the pipe EOFs immediately — a killed worker is a
-        clear error, never a hang) and re-raises, in the parent, any
-        exception the operation itself raised in the worker.
+        clear error, never a hang) or missed the reply bound (the wedged
+        worker is killed; the error carries ``timed_out=True``), and
+        re-raises, in the parent, any exception the operation itself
+        raised in the worker.
         """
+        effective = timeout if timeout is not None else self.recv_timeout
+        crash_pre = hang = crash_post = corrupt = False
+        injector = self._injector
+        if injector is not None and op in _INJECTABLE_OPS:
+            crash_pre = injector.fires("worker.crash.pre")
+            if not crash_pre and effective is not None:
+                # A hang is only observable through a bounded recv; with
+                # no bound it would be an unbounded stall, so skip it.
+                hang = injector.fires("pipe.hang")
+            if not (crash_pre or hang):
+                crash_post = injector.fires("worker.crash.post")
+                if not crash_post:
+                    corrupt = injector.fires("reply.corrupt")
         with self._lock:
             if not self._alive:
                 raise ShardWorkerError(
-                    f"shard {self.index} worker is closed")
+                    f"shard {self.index} worker is closed",
+                    shard_index=self.index)
             try:
+                if crash_pre:
+                    # The worker dies before serving the leg; the send
+                    # may still land in the pipe buffer, but the recv
+                    # below EOFs and takes the died-error path.
+                    self.process.kill()
+                    self.process.join(5.0)
+                if hang:
+                    # Wedge the worker for real: it naps well past the
+                    # recv bound, so detection (not the nap ending) is
+                    # what unblocks us.  If the nap somehow ends first,
+                    # consume its reply and fall through to the real op.
+                    self._conn.send(("hang", injector.hang_seconds))
+                    self._recv_bounded(effective, op)
                 self._conn.send((op, payload))
-                status, out, stats = self._conn.recv()
+                status, out, stats = self._recv_bounded(effective, op)
+                if crash_post:
+                    # The reply was computed but is "lost": kill the
+                    # worker and discard it, so a retried leg recomputes.
+                    self.process.kill()
+                    self.process.join(5.0)
+                    self._teardown(terminate=True)
+                    raise ShardWorkerError(
+                        f"shard {self.index} worker process died during "
+                        f"{op!r} before its reply was consumed (injected "
+                        f"post-leg crash); the scatter executor will "
+                        f"respawn it on the next leg",
+                        shard_index=self.index)
+                if corrupt:
+                    # The reply stream can no longer be trusted once a
+                    # frame is mangled: discard it and the worker both.
+                    self._teardown(terminate=True)
+                    raise ShardWorkerError(
+                        f"shard {self.index} worker reply for {op!r} was "
+                        f"corrupted (injected); worker torn down and will "
+                        f"be respawned on the next leg",
+                        shard_index=self.index)
             except (EOFError, OSError, BrokenPipeError) as exc:
                 self._teardown(terminate=True)
                 code = self.process.exitcode
                 raise ShardWorkerError(
                     f"shard {self.index} worker process died "
                     f"(exit code {code}) during {op!r}; the scatter "
-                    f"executor will respawn it on the next leg") from exc
+                    f"executor will respawn it on the next leg",
+                    shard_index=self.index) from exc
         if status == "error":
             if isinstance(out, Exception):
                 raise out
-            raise ShardWorkerError(str(out))
+            raise ShardWorkerError(str(out), shard_index=self.index)
         return out, stats
+
+    def _recv_bounded(self, timeout: Optional[float], op: str):
+        """Receive one reply, killing a worker that misses the bound.
+
+        Must be called with the lock held.  A ``None`` timeout preserves
+        the original unbounded wait.
+        """
+        if timeout is not None and not self._conn.poll(max(0.0, timeout)):
+            self._teardown(terminate=True)
+            raise ShardWorkerError(
+                f"shard {self.index} worker did not reply within "
+                f"{timeout:.4g}s during {op!r} (hung worker killed; the "
+                f"scatter executor will respawn it on the next leg)",
+                shard_index=self.index, timed_out=True)
+        return self._conn.recv()
 
     @property
     def alive(self) -> bool:

@@ -42,6 +42,10 @@ def make_sharded_engine(relation: Relation, num_shards: int,
                         range_dim: Optional[str] = None,
                         parallel: bool = False,
                         scatter: str = "threads",
+                        retry_policy=None,
+                        breaker_policy=None,
+                        fault_injector=None,
+                        allow_partial: bool = False,
                         **executor_kwargs: object):
     """Wire a relation into a ready-to-query scatter/gather engine.
 
@@ -54,6 +58,11 @@ def make_sharded_engine(relation: Relation, num_shards: int,
     the cost model deciding the crossover per scatter).  Returns
     ``(manager, engine)``; call ``engine.close()`` (or use the engine as
     a context manager) when done to tear its pools/workers down.
+
+    The fault-tolerance kwargs (``retry_policy``, ``breaker_policy``,
+    ``fault_injector``, ``allow_partial`` — see :mod:`repro.fault`) are
+    forwarded to the executor; everything else in ``executor_kwargs``
+    configures the per-shard engine stacks through the manager.
     """
     from repro.shard import (
         HashShardingPolicy,
@@ -73,4 +82,8 @@ def make_sharded_engine(relation: Relation, num_shards: int,
     manager = ShardManager(relation, policy, **executor_kwargs)
     executor_cls = (ProcessScatterExecutor if scatter == "processes"
                     else ScatterGatherExecutor)
-    return manager, executor_cls(manager, parallel=parallel)
+    return manager, executor_cls(manager, parallel=parallel,
+                                 retry_policy=retry_policy,
+                                 breaker_policy=breaker_policy,
+                                 fault_injector=fault_injector,
+                                 allow_partial=allow_partial)

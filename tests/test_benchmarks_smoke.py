@@ -122,3 +122,22 @@ class TestCalibrateMetricsOption:
         out = capsys.readouterr().out
         assert "per-backend cost feedback" in out
         assert "misestimates (>4x off)" in out
+
+
+class TestBenchFaultTolerance:
+    def test_quick_mode_gates_pass_at_tiny_n(self, capsys, tmp_path):
+        import json
+
+        bench = load_benchmark("bench_fault_tolerance")
+        output = tmp_path / "BENCH_fault.json"
+        assert bench.main(["--quick", "--tuples", "800", "--queries", "15",
+                           "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "0 wrong answers" in out
+        payload = json.loads(output.read_text())
+        assert payload["wrong_answers"] == 0
+        assert payload["faults_injected"] > 0
+        assert payload["retries"] > 0
+        assert payload["breaker_opened"] >= 1
+        assert payload["degraded_results"] >= 1
+        assert payload["failures"] == []

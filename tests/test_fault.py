@@ -1,0 +1,589 @@
+"""The fault-tolerance machinery: deadlines, retries, breakers, chaos.
+
+Unit coverage of the :mod:`repro.fault` value objects (clock-injected
+:class:`Deadline`, full-jitter :class:`RetryPolicy` under a shared
+:class:`RetryBudget`, the closed/open/half-open :class:`CircuitBreaker`,
+and the seeded :class:`FaultInjector`), then behavioral coverage of the
+scatter layer wearing them: retried legs recover bit-identically and
+annotate ``extra["leg_attempts"]``, exhausted retries propagate in
+strict mode and degrade to the surviving-shard oracle under
+``allow_partial``, open breakers refuse legs without burning budget,
+expired deadlines raise (never a partial answer), and a hung process
+worker is killed at the recv bound — flagged ``timed_out`` — instead of
+wedging a scatter thread.
+
+The chaos *parity* gate (injected faults at shard counts {1, 2, 7},
+answers bit-identical to the oracle) lives in
+``tests/test_parity_oracle.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.cost import CostModel
+from repro.errors import (
+    DeadlineExceededError,
+    ShardWorkerError,
+)
+from repro.fault import (
+    BreakerOpenError,
+    BreakerPolicy,
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    INJECTION_POINTS,
+    InjectedFaultError,
+    RetryPolicy,
+)
+from repro.functions.linear import sum_function
+from repro.query import Predicate, TopKQuery
+from repro.shard import (
+    HashShardingPolicy,
+    ProcessScatterExecutor,
+    ScatterGatherExecutor,
+    ShardManager,
+)
+from repro.workloads import SyntheticSpec, generate_relation
+from tests.conftest import brute_force_topk
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+    def __call__(self) -> float:
+        return self.t
+
+
+# ----------------------------------------------------------------------
+# unit: Deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_remaining_and_expiry_follow_the_clock(self):
+        clock = FakeClock(100.0)
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired()
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.advance(2.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_raise_if_expired_names_the_context(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.raise_if_expired("anything")  # not yet
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError, match="before gather"):
+            deadline.raise_if_expired("gather")
+
+    def test_bound_takes_the_tighter_of_timeout_and_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.bound(10.0) == pytest.approx(2.0)
+        assert deadline.bound(0.5) == pytest.approx(0.5)
+        # None means "no configured timeout": the deadline is the bound.
+        assert deadline.bound(None) == pytest.approx(2.0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Deadline.after(-0.1)
+
+
+# ----------------------------------------------------------------------
+# unit: RetryPolicy / RetryBudget
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_ceiling_doubles_up_to_the_cap(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.1, cap_delay=0.5)
+        assert policy.backoff_ceiling(1) == pytest.approx(0.1)
+        assert policy.backoff_ceiling(2) == pytest.approx(0.2)
+        assert policy.backoff_ceiling(3) == pytest.approx(0.4)
+        assert policy.backoff_ceiling(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_ceiling(1000) == pytest.approx(0.5)
+
+    def test_full_jitter_is_uniform_under_the_ceiling(self):
+        policy = RetryPolicy(base_delay=0.2, cap_delay=1.0)
+        rng = random.Random(42)
+        draws = [policy.backoff(1, rng) for _ in range(200)]
+        assert all(0.0 <= d <= 0.2 for d in draws)
+        # Same seed, same sleeps: chaos runs replay deterministically.
+        again = [policy.backoff(1, random.Random(42)) for _ in range(1)]
+        assert again[0] == pytest.approx(draws[0])
+
+    def test_budget_consume_is_all_or_nothing(self):
+        budget = RetryPolicy(budget=1.0).new_budget()
+        assert budget.consume(0.7)
+        assert not budget.consume(0.5)  # would overdraw: refused whole
+        assert budget.consume(0.3)
+        assert budget.spent == pytest.approx(1.0)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_unbudgeted_policy_never_refuses(self):
+        budget = RetryPolicy(budget=None).new_budget()
+        assert budget.consume(1e6)
+        assert budget.remaining is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="cap_delay"):
+            RetryPolicy(base_delay=1.0, cap_delay=0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError, match="budget"):
+            RetryPolicy(budget=-2.0)
+
+
+# ----------------------------------------------------------------------
+# unit: CircuitBreaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        clock = FakeClock()
+        events = []
+        breaker = CircuitBreaker(
+            0, BreakerPolicy(failure_threshold=threshold, cooldown=cooldown),
+            clock=clock, on_event=lambda event, shard: events.append(event))
+        return breaker, clock, events
+
+    def test_threshold_consecutive_failures_open_the_breaker(self):
+        breaker, _, events = self.make(threshold=3)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert events == ["opened"]
+
+    def test_success_resets_the_streak(self):
+        breaker, _, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken, not cumulative
+
+    def test_cooldown_admits_one_probe_whose_success_closes(self):
+        breaker, clock, events = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()        # the probe slot
+        assert not breaker.allow()    # concurrent leg refused mid-probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert events == ["opened", "half_open_probe", "closed"]
+
+    def test_failed_probe_reopens_for_a_fresh_cooldown(self):
+        breaker, clock, events = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.retry_after() == pytest.approx(10.0)
+        assert not breaker.allow()
+        assert events == ["opened", "half_open_probe", "opened"]
+
+    def test_open_error_is_a_shard_worker_error_with_retry_after(self):
+        error = BreakerOpenError(3, retry_after=2.5)
+        assert isinstance(error, ShardWorkerError)
+        assert error.shard_index == 3
+        assert error.retry_after == pytest.approx(2.5)
+        assert "shard 3" in str(error)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            BreakerPolicy(cooldown=-1.0)
+
+
+# ----------------------------------------------------------------------
+# unit: FaultInjector
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_same_seed_replays_the_same_fault_sequence(self):
+        rates = {"worker.crash.pre": 0.5, "leg.delay": 0.25}
+        first = FaultInjector(seed=7, rates=rates)
+        second = FaultInjector(seed=7, rates=rates)
+        sequence = [(first.fires("worker.crash.pre"),
+                     first.fires("leg.delay")) for _ in range(50)]
+        replay = [(second.fires("worker.crash.pre"),
+                   second.fires("leg.delay")) for _ in range(50)]
+        assert sequence == replay
+        assert first.fired == second.fired
+        assert first.total_fired > 0  # chaos actually happened
+
+    def test_max_faults_caps_total_injections(self):
+        injector = FaultInjector(seed=1, rates={"worker.crash.pre": 1.0},
+                                 max_faults=3)
+        outcomes = [injector.fires("worker.crash.pre") for _ in range(10)]
+        assert outcomes == [True, True, True] + [False] * 7
+        assert injector.total_fired == 3
+
+    def test_unrated_points_never_fire(self):
+        injector = FaultInjector(seed=1, rates={"pipe.hang": 1.0})
+        assert not injector.fires("worker.crash.pre")
+        assert injector.fires("pipe.hang")
+
+    def test_unknown_points_rejected_loudly(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultInjector(seed=1, rates={"worker.crash.prre": 1.0})
+        injector = FaultInjector(seed=1, rates={})
+        with pytest.raises(ValueError, match="unknown injection point"):
+            injector.fires("not.a.point")
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultInjector(seed=1, rates={"pipe.hang": 1.5})
+        with pytest.raises(ValueError, match="max_faults"):
+            FaultInjector(seed=1, rates={}, max_faults=-1)
+
+    def test_injected_fault_error_is_a_shard_worker_error(self):
+        error = InjectedFaultError("worker.crash.pre", shard_index=2)
+        assert isinstance(error, ShardWorkerError)
+        assert error.point == "worker.crash.pre"
+        assert error.shard_index == 2
+
+    def test_every_documented_point_is_named(self):
+        assert set(INJECTION_POINTS) == {
+            "worker.crash.pre", "worker.crash.post", "pipe.hang",
+            "reply.corrupt", "leg.delay"}
+
+
+# ----------------------------------------------------------------------
+# executor-level: retries, degradation, breakers, deadlines, hangs
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def relation():
+    return generate_relation(SyntheticSpec(
+        num_tuples=600, num_selection_dims=2, num_ranking_dims=2,
+        cardinality=4, seed=33))
+
+
+def make_engine(relation, num_shards=3, **kwargs):
+    manager = ShardManager(relation, HashShardingPolicy(num_shards),
+                           block_size=64, with_signature=False,
+                           with_skyline=False)
+    return manager, ScatterGatherExecutor(manager, **kwargs)
+
+
+def topk(k=8, **conditions):
+    return TopKQuery(Predicate.of(conditions), sum_function(["N1", "N2"]), k)
+
+
+def surviving_oracle(relation, query, surviving_tids):
+    """Brute force restricted to the surviving shards' global tids."""
+    mask = relation.mask_equal(query.predicate.as_dict)
+    scored = sorted(
+        (float(query.function.evaluate_tuple(relation, int(tid))), int(tid))
+        for tid in np.nonzero(mask)[0] if int(tid) in surviving_tids)
+    top = scored[: query.k]
+    return tuple(t for _, t in top), tuple(s for s, _ in top)
+
+
+def fail_shard(engine, bad_index, error=None):
+    """Make every leg to one shard raise, leaving the others honest."""
+    original = engine._shard_execute
+
+    def failing(shard, query, leg, deadline=None):
+        if shard.index == bad_index:
+            raise (error if error is not None
+                   else ShardWorkerError(f"shard {shard.index} worker "
+                                         f"process died (exit code -9)",
+                                         shard_index=shard.index))
+        return original(shard, query, leg, deadline=deadline)
+
+    engine._shard_execute = failing
+
+
+class TestRetries:
+    def test_retried_legs_recover_bit_identically(self, relation):
+        injector = FaultInjector(seed=11, rates={"worker.crash.pre": 1.0},
+                                 max_faults=2)
+        _, engine = make_engine(
+            relation, fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=0.001,
+                                     cap_delay=0.002, jitter_seed=5))
+        sleeps = []
+        engine._sleep = sleeps.append
+        with engine:
+            query = topk(k=6, A1=1)
+            result = engine.execute(query)
+        tids, scores = brute_force_topk(relation, query)
+        assert result.tids == tids
+        assert result.scores == scores
+        assert injector.fired["worker.crash.pre"] == 2
+        snap = engine.metrics.snapshot()
+        assert snap["fault.retries"] == 2.0
+        assert snap["fault.leg_failures"] == 2.0
+        # The recovered result is not degraded — every shard answered.
+        assert "degraded" not in result.extra
+        attempts = dict(
+            pair.split(":") for pair in
+            result.extra["leg_attempts"].split(","))
+        assert sum(int(n) for n in attempts.values()) >= len(attempts) + 2
+
+    def test_backoff_sleeps_follow_the_seeded_jitter(self, relation):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, cap_delay=0.04,
+                             jitter_seed=99)
+        injector = FaultInjector(seed=3, rates={"worker.crash.pre": 1.0},
+                                 max_faults=2)
+        _, engine = make_engine(relation, fault_injector=injector,
+                                retry_policy=policy)
+        sleeps = []
+        engine._sleep = sleeps.append
+        with engine:
+            engine.execute(topk(k=3))
+        expected_rng = random.Random(99)
+        for attempt, slept in enumerate(sleeps, start=1):
+            assert slept == pytest.approx(
+                policy.backoff(attempt, expected_rng))
+
+    def test_exhausted_retries_raise_in_strict_mode(self, relation):
+        injector = FaultInjector(seed=2, rates={"worker.crash.pre": 1.0})
+        _, engine = make_engine(
+            relation, fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                     cap_delay=0.0, jitter_seed=0))
+        with engine:
+            with pytest.raises(InjectedFaultError):
+                engine.execute(topk())
+        snap = engine.metrics.snapshot()
+        assert snap["fault.retries"] >= 1.0
+        assert snap["fault.shards_failed"] >= 1.0
+
+    def test_dry_retry_budget_stops_the_backoff(self, relation):
+        injector = FaultInjector(seed=4, rates={"worker.crash.pre": 1.0})
+        _, engine = make_engine(
+            relation, fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=50, base_delay=0.01,
+                                     cap_delay=0.01, budget=0.0,
+                                     jitter_seed=1))
+        with engine:
+            with pytest.raises(InjectedFaultError):
+                engine.execute(topk(k=2))
+        snap = engine.metrics.snapshot()
+        # A zero budget cannot cover any positive sleep: the first
+        # positive backoff draw is refused and the leg gives up long
+        # before max_attempts.
+        assert snap["fault.retry_budget_exhausted"] >= 1.0
+        assert snap["fault.retries"] < 49.0
+
+
+class TestPartialResults:
+    def test_degraded_answer_is_the_surviving_shard_oracle(self, relation):
+        manager, engine = make_engine(relation, num_shards=3,
+                                      allow_partial=True)
+        fail_shard(engine, bad_index=0)
+        surviving = {int(tid) for shard in manager.shards
+                     if shard.index != 0 for tid in shard.tid_map}
+        with engine:
+            query = topk(k=7, A2=1)
+            result = engine.execute(query)
+            tids, scores = surviving_oracle(relation, query, surviving)
+            assert result.tids == tids
+            assert result.scores == scores
+            assert result.extra["degraded"] == 1.0
+            assert result.extra["shards_failed"] == "0:ShardWorkerError"
+            assert result.extra["completeness"] == pytest.approx(2.0 / 3.0)
+
+    def test_degraded_results_are_never_cached(self, relation):
+        manager, engine = make_engine(relation, allow_partial=True)
+        fail_shard(engine, bad_index=1)
+        with engine:
+            query = topk(k=4)
+            degraded = engine.execute(query)
+            assert degraded.extra["degraded"] == 1.0
+            # The shard recovers; the next call must recompute, not serve
+            # the gap from the result cache.
+            engine._shard_execute = ScatterGatherExecutor._shard_execute.__get__(engine)
+            healed = engine.execute(query)
+            assert "degraded" not in healed.extra
+            assert healed.tids == brute_force_topk(relation, query)[0]
+
+    def test_strict_mode_still_raises(self, relation):
+        _, engine = make_engine(relation, allow_partial=False)
+        fail_shard(engine, bad_index=0)
+        with engine:
+            with pytest.raises(ShardWorkerError):
+                engine.execute(topk())
+
+    def test_per_call_override_beats_the_executor_default(self, relation):
+        _, engine = make_engine(relation, allow_partial=True)
+        fail_shard(engine, bad_index=0)
+        with engine:
+            with pytest.raises(ShardWorkerError):
+                engine.execute(topk(), allow_partial=False)
+            result = engine.execute(topk())
+            assert result.extra["degraded"] == 1.0
+
+    def test_all_shards_down_raises_even_in_partial_mode(self, relation):
+        injector = FaultInjector(seed=6, rates={"worker.crash.pre": 1.0})
+        _, engine = make_engine(relation, fault_injector=injector,
+                                allow_partial=True)
+        with engine:
+            # No retries configured: every leg fails on its only attempt,
+            # and an answer from zero shards would be a silent lie.
+            with pytest.raises(InjectedFaultError):
+                engine.execute(topk())
+
+
+class TestBreakerIntegration:
+    def test_breaker_opens_and_refuses_without_attempts(self, relation):
+        clock = FakeClock()
+        _, engine = make_engine(
+            relation, allow_partial=True,
+            breaker_policy=BreakerPolicy(failure_threshold=2, cooldown=60.0))
+        engine._breaker_clock = clock
+        fail_shard(engine, bad_index=0)
+        with engine:
+            engine.execute(topk(k=2))
+            engine.execute(topk(k=3))  # second consecutive failure: trips
+            snap = engine.metrics.snapshot()
+            assert snap["breaker.opened"] == 1.0
+            assert engine._breakers[0].state == "open"
+            result = engine.execute(topk(k=4))
+            assert result.extra["degraded"] == 1.0
+            # Refused fail-fast: zero attempts booked for the open shard.
+            assert "0:0" in result.extra["leg_attempts"].split(",")
+            assert result.extra["shards_failed"] == "0:BreakerOpenError"
+            assert engine.metrics.snapshot()["breaker.rejected"] == 1.0
+
+    def test_half_open_probe_closes_after_recovery(self, relation):
+        clock = FakeClock()
+        _, engine = make_engine(
+            relation, allow_partial=True,
+            breaker_policy=BreakerPolicy(failure_threshold=1, cooldown=30.0))
+        engine._breaker_clock = clock
+        fail_shard(engine, bad_index=0)
+        with engine:
+            engine.execute(topk(k=2))  # trips shard 0's breaker
+            # The shard heals while the breaker cools down.
+            engine._shard_execute = ScatterGatherExecutor._shard_execute.__get__(engine)
+            clock.advance(30.0)
+            query = topk(k=5, A1=2)
+            result = engine.execute(query)  # the half-open probe succeeds
+            assert result.tids == brute_force_topk(relation, query)[0]
+            assert "degraded" not in result.extra
+            snap = engine.metrics.snapshot()
+            assert snap["breaker.half_open_probes"] == 1.0
+            assert snap["breaker.closed"] == 1.0
+            assert engine._breakers[0].state == "closed"
+
+    def test_strict_mode_surfaces_breaker_open_error(self, relation):
+        clock = FakeClock()
+        _, engine = make_engine(
+            relation,
+            breaker_policy=BreakerPolicy(failure_threshold=1, cooldown=60.0))
+        engine._breaker_clock = clock
+        fail_shard(engine, bad_index=0)
+        with engine:
+            with pytest.raises(ShardWorkerError):
+                engine.execute(topk(k=2))
+            with pytest.raises(BreakerOpenError, match="breaker is open"):
+                engine.execute(topk(k=3))
+
+
+class TestDeadlines:
+    def test_expired_deadline_raises_before_any_leg(self, relation):
+        _, engine = make_engine(relation)
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(2.0)
+        with engine:
+            with pytest.raises(DeadlineExceededError):
+                engine.execute(topk(), deadline=deadline)
+        assert engine.metrics.snapshot()["fault.deadline_exceeded"] == 1.0
+
+    def test_live_deadline_does_not_perturb_the_answer(self, relation):
+        _, engine = make_engine(relation)
+        with engine:
+            query = topk(k=5, A1=1)
+            result = engine.execute(
+                query, deadline=Deadline.after(60.0))
+            assert result.tids == brute_force_topk(relation, query)[0]
+            assert "leg_attempts" in result.extra
+
+    def test_expiry_beats_allow_partial(self, relation):
+        _, engine = make_engine(relation, allow_partial=True)
+        clock = FakeClock()
+        deadline = Deadline.after(0.0, clock=clock)
+        clock.advance(1.0)
+        with engine:
+            # A late answer is not a partial answer: expiry always raises.
+            with pytest.raises(DeadlineExceededError):
+                engine.execute(topk(), deadline=deadline)
+
+    def test_deadline_caps_retry_backoff(self, relation):
+        injector = FaultInjector(seed=8, rates={"worker.crash.pre": 1.0},
+                                 max_faults=1)
+        _, engine = make_engine(
+            relation, fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=10.0,
+                                     cap_delay=10.0, jitter_seed=2))
+        sleeps = []
+        engine._sleep = sleeps.append
+        with engine:
+            result = engine.execute(topk(k=3),
+                                    deadline=Deadline.after(0.5))
+        assert result.tids  # recovered within the deadline
+        assert all(slept <= 0.5 for slept in sleeps)
+
+
+class TestHungWorkers:
+    def test_hung_worker_is_killed_at_the_recv_bound(self, relation):
+        injector = FaultInjector(seed=12, rates={"pipe.hang": 1.0},
+                                 max_faults=1, hang_seconds=30.0)
+        manager = ShardManager(relation, HashShardingPolicy(2),
+                               block_size=64, with_signature=False,
+                               with_skyline=False)
+        model = CostModel()
+        model.process_leg_overhead = 0.0  # force process legs
+        engine = ProcessScatterExecutor(
+            manager, cost_model=model, recv_timeout=0.5,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.001,
+                                     cap_delay=0.002, jitter_seed=7))
+        with engine:
+            query = topk(k=5)
+            started = time.monotonic()
+            result = engine.execute(query)
+            elapsed = time.monotonic() - started
+        # Detection, not the 30s nap, unwedged the scatter.
+        assert elapsed < 15.0
+        assert injector.fired["pipe.hang"] == 1
+        assert result.tids == brute_force_topk(relation, query)[0]
+        snap = engine.metrics.snapshot()
+        assert snap["fault.hung_legs"] == 1.0
+        assert snap["fault.retries"] >= 1.0
+
+    def test_hang_error_is_flagged_timed_out_in_strict_mode(self, relation):
+        injector = FaultInjector(seed=13, rates={"pipe.hang": 1.0},
+                                 hang_seconds=30.0)
+        manager = ShardManager(relation, HashShardingPolicy(2),
+                               block_size=64, with_signature=False,
+                               with_skyline=False)
+        model = CostModel()
+        model.process_leg_overhead = 0.0
+        engine = ProcessScatterExecutor(manager, cost_model=model,
+                                        recv_timeout=0.5,
+                                        fault_injector=injector)
+        with engine:
+            with pytest.raises(ShardWorkerError,
+                               match="did not reply") as excinfo:
+                engine.execute(topk())
+            assert excinfo.value.timed_out

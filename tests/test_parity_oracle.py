@@ -401,3 +401,117 @@ def test_every_case_was_planned(universe, spec_index):
         plan = engine.plan(query)
         assert plan.backend in engine.registry.names()
         assert plan.query_kind == kind_of(query)
+
+
+# ----------------------------------------------------------------------
+# chaos parity: answers stay bit-identical THROUGH injected faults
+# ----------------------------------------------------------------------
+#: Relations the thread-mode chaos pass replays (a subset keeps the
+#: suite's chaos share proportionate; the injector sweeps every leg of
+#: every shard count, so more specs would add runtime, not coverage).
+CHAOS_SPEC_INDICES = (0, 3, 6)
+
+
+def _chaos_policy(relation, count):
+    if count == 2:
+        return RangeShardingPolicy(relation, relation.selection_dims[0],
+                                   count)
+    return HashShardingPolicy(count)
+
+
+@pytest.mark.parametrize("spec_index", CHAOS_SPEC_INDICES)
+def test_chaos_parity_thread_scatter(spec_index):
+    """Injected crashes + retries never change an answer (thread legs).
+
+    A seeded :class:`~repro.fault.inject.FaultInjector` plants pre- and
+    post-leg crashes plus delays while the retry policy re-runs the
+    failed legs.  ``max_faults`` is kept strictly below
+    ``max_attempts - 1`` so recovery *provably* converges: no leg can
+    accumulate enough consecutive faults to exhaust its attempts.  Every
+    answer — strict mode, no degradation allowed — must be bit-identical
+    to the brute-force oracle, at every shard count in {1, 2, 7}.
+    """
+    from repro.fault import FaultInjector, RetryPolicy
+    from repro.shard import ScatterGatherExecutor as ThreadScatter
+
+    relation = generate_relation(SPECS[spec_index], name=f"C{spec_index}")
+    rng = np.random.default_rng(7000 + spec_index)
+    queries = _topk_queries(rng, relation)
+    oracle = [brute_force_topk(relation, query) for query in queries]
+    for count in SHARD_COUNTS:
+        manager = ShardManager(relation, _chaos_policy(relation, count),
+                               executor_factory=_slim_shard_factory)
+        injector = FaultInjector(
+            seed=1300 + 10 * spec_index + count,
+            rates={"worker.crash.pre": 0.35, "worker.crash.post": 0.2,
+                   "leg.delay": 0.1},
+            max_faults=12, delay_seconds=0.0)
+        engine = ThreadScatter(
+            manager, fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=14, base_delay=0.0002,
+                                     cap_delay=0.001, budget=None,
+                                     jitter_seed=count))
+        with engine:
+            for query, (tids, scores) in zip(queries, oracle):
+                gathered = engine.execute(query)
+                assert gathered.tids == tids, (count, injector.fired)
+                assert gathered.scores == scores, count
+                assert "degraded" not in gathered.extra, count
+            # Replay the batch path under fresh chaos: fused-group legs
+            # retry and recover just like solo legs.
+            engine.fault_injector = FaultInjector(
+                seed=4300 + 10 * spec_index + count,
+                rates={"worker.crash.pre": 0.35, "worker.crash.post": 0.2},
+                max_faults=12)
+            manager.invalidate_caches()
+            fused = engine.execute_many(queries)
+            for result, (tids, scores) in zip(fused, oracle):
+                assert result.tids == tids, count
+                assert result.scores == scores, count
+            # A vacuous chaos run proves nothing: the injectors must
+            # actually have planted faults for the parity to mean much.
+            assert injector.total_fired > 0, (count, injector.fired)
+            assert engine.fault_injector.total_fired > 0, count
+
+
+def test_chaos_parity_process_scatter():
+    """Injected crashes + hangs never change an answer (process legs).
+
+    Here the chaos is *real*: ``worker.crash.pre`` kills the worker
+    process, ``pipe.hang`` wedges it past the bounded recv (which kills
+    it), and every retried leg runs against a freshly respawned worker
+    over a fresh shared-memory copy.  Answers must stay bit-identical to
+    the oracle at every shard count in {1, 2, 7}.
+    """
+    from repro.engine.cost import CostModel
+    from repro.fault import FaultInjector, RetryPolicy
+    from repro.shard import ProcessScatterExecutor
+
+    relation = generate_relation(SPECS[1], name="PC1")
+    rng = np.random.default_rng(8101)
+    queries = _topk_queries(rng, relation)[:6]
+    oracle = [brute_force_topk(relation, query) for query in queries]
+    chaos_seen = 0
+    for count in SHARD_COUNTS:
+        manager = ShardManager(relation, _chaos_policy(relation, count),
+                               block_size=32, with_signature=False,
+                               with_skyline=False)
+        cost_model = CostModel()
+        cost_model.process_leg_overhead = 0.0
+        injector = FaultInjector(seed=500 + count,
+                                 rates={"worker.crash.pre": 0.3,
+                                        "pipe.hang": 0.15},
+                                 max_faults=3, hang_seconds=30.0)
+        engine = ProcessScatterExecutor(
+            manager, cost_model=cost_model, recv_timeout=1.0,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=5, base_delay=0.001,
+                                     cap_delay=0.004, jitter_seed=count))
+        with engine:
+            for query, (tids, scores) in zip(queries, oracle):
+                gathered = engine.execute(query)
+                assert gathered.tids == tids, (count, injector.fired)
+                assert gathered.scores == scores, count
+                assert gathered.extra["scatter_mode"] == "processes", count
+        chaos_seen += injector.total_fired
+    assert chaos_seen > 0

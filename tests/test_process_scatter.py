@@ -195,3 +195,79 @@ class TestLifecycle:
             executor_factory=lambda rel: Executor.for_relation(rel))
         with pytest.raises(PlanningError, match="executor_factory"):
             ProcessScatterExecutor(manager)
+
+
+class TestFaultContainment:
+    def test_fused_group_failure_spares_the_rest_of_the_batch(self, relation):
+        """One fused group's dead leg fails its riders, not the batch.
+
+        The injected crash (a real process kill, one fault total) lands
+        on the first group's leg; strict mode fails that group's two
+        members, the second group's legs respawn the worker and answer,
+        and the batch surfaces both through one
+        :class:`~repro.errors.PartialBatchError`.
+        """
+        from repro.errors import PartialBatchError
+        from repro.fault import FaultInjector
+        from tests.conftest import brute_force_topk
+
+        injector = FaultInjector(seed=5, rates={"worker.crash.pre": 1.0},
+                                 max_faults=1)
+        manager, engine = make_process_engine(relation,
+                                              fault_injector=injector)
+        f_hit = sum_function(["N1", "N2"])
+        f_spared = sum_function(["N1"])
+        batch = [TopKQuery(Predicate.of(), f_hit, 3),
+                 TopKQuery(Predicate.of(), f_hit, 5),
+                 TopKQuery(Predicate.of(), f_spared, 3),
+                 TopKQuery(Predicate.of(), f_spared, 5)]
+        with engine:
+            with pytest.raises(PartialBatchError) as excinfo:
+                engine.execute_many(batch)
+        error = excinfo.value
+        assert set(error.errors) == {0, 1}
+        assert isinstance(error.errors[0], ShardWorkerError)
+        assert error.results[0] is None and error.results[1] is None
+        assert injector.total_fired == 1
+        for position in (2, 3):
+            result = error.results[position]
+            tids, scores = brute_force_topk(relation, batch[position])
+            assert result.tids == tids
+            assert result.scores == scores
+
+    def test_bounded_recv_kills_hung_worker_and_flags_timeout(self, relation):
+        import time
+
+        manager, engine = make_process_engine(relation, recv_timeout=0.3)
+        with engine:
+            engine.execute(topk())
+            worker = engine._workers[0]
+            assert worker.recv_timeout == 0.3
+            started = time.monotonic()
+            with pytest.raises(ShardWorkerError,
+                               match="did not reply") as excinfo:
+                worker.request("hang", 5.0)
+            # The bounded recv, not the 5s nap, ended the wait.
+            assert time.monotonic() - started < 3.0
+            assert excinfo.value.timed_out
+            assert excinfo.value.shard_index == 0
+            # A hang kill is a normal worker death to the scatter: the
+            # next dispatch respawns and answers.
+            manager.invalidate_caches()
+            result = engine.execute(topk())
+            assert result.tids
+            assert engine._workers[0] is not worker
+            assert engine._workers[0].alive
+
+    def test_genuine_worker_death_is_not_flagged_timed_out(self, relation):
+        manager, engine = make_process_engine(relation)
+        with engine:
+            engine.execute(topk())
+            worker = engine._workers[0]
+            worker.process.kill()
+            worker.process.join()
+            with pytest.raises(ShardWorkerError) as excinfo:
+                worker.request("ping")
+            # Death and hang are distinguishable: only the recv-bound
+            # kill carries the timed_out flag.
+            assert not excinfo.value.timed_out

@@ -757,3 +757,193 @@ class TestStatsViews:
             ServiceConfig(backend_limits={"ranking-cube": 0})
         with pytest.raises(ServeError):
             ServiceConfig(default_timeout=0.0)
+
+
+class TestEngineFailureMapping:
+    """Engine-side fault surfaces map to typed serving errors."""
+
+    def test_map_engine_error_types(self, relation):
+        from repro.errors import DeadlineExceededError, ShardWorkerError
+        from repro.serve import ShardUnavailableError
+
+        _, engine = make_engine(relation)
+        service = QueryService(engine)  # mapping needs no running loop
+        died = ShardWorkerError("shard 1 worker process died (exit code -9)",
+                                shard_index=1)
+        mapped = service._map_engine_error(died)
+        assert isinstance(mapped, ShardUnavailableError)
+        assert mapped.__cause__ is died
+        assert "shard unavailable" in str(mapped)
+        late = DeadlineExceededError("deadline exceeded before scatter")
+        mapped = service._map_engine_error(late)
+        assert isinstance(mapped, RequestTimeoutError)
+        assert mapped.__cause__ is late
+        other = ValueError("not an engine fault")
+        assert service._map_engine_error(other) is other
+
+    def test_engine_shard_failure_surfaces_as_shard_unavailable(
+            self, relation):
+        from repro.errors import ShardWorkerError
+        from repro.serve import ShardUnavailableError
+
+        _, engine = make_engine(relation)
+        original = engine.execute_many
+        broken = {"on": True}
+
+        def flaky_execute_many(batch):
+            if broken["on"]:
+                raise ShardWorkerError(
+                    "shard 1 worker process died (exit code -9)",
+                    shard_index=1)
+            return original(batch)
+
+        engine.execute_many = flaky_execute_many
+        query = TopKQuery(Predicate.of(A1=0), sum_function(["N1", "N2"]), 3)
+
+        async def run():
+            config = ServiceConfig(max_linger=0.0)
+            async with QueryService(engine, config) as service:
+                with pytest.raises(ShardUnavailableError) as excinfo:
+                    await service.submit(query)
+                assert isinstance(excinfo.value.__cause__, ShardWorkerError)
+                # The service outlives the shard loss: once the engine
+                # recovers, the same service answers again.
+                broken["on"] = False
+                result = await service.submit(query)
+                return result, service.stats_snapshot()
+
+        result, snap = asyncio.run(run())
+        assert len(result.tids) == 3
+        assert snap["failed"] == 1.0
+        assert snap["completed"] == 1.0
+
+    def test_partial_batch_failure_resolves_per_position(self, relation):
+        """One fused group's failure rejects its members, not the batch."""
+        from repro.fault import FaultInjector
+        from repro.serve import ShardUnavailableError
+
+        _, engine = make_engine(relation, num_shards=3)
+        engine.fault_injector = FaultInjector(
+            seed=9, rates={"worker.crash.pre": 1.0}, max_faults=1)
+        f_hit = sum_function(["N1", "N2"])
+        f_spared = sum_function(["N1"])
+        queries = [TopKQuery(Predicate.of(), f_hit, 3),
+                   TopKQuery(Predicate.of(), f_hit, 5),
+                   TopKQuery(Predicate.of(), f_spared, 3),
+                   TopKQuery(Predicate.of(), f_spared, 5)]
+
+        async def run():
+            config = ServiceConfig(max_batch_size=4, max_linger=0.2)
+            async with QueryService(engine, config) as service:
+                tasks = [asyncio.ensure_future(service.submit(query))
+                         for query in queries]
+                outcomes = await asyncio.gather(*tasks,
+                                                return_exceptions=True)
+                return outcomes, service.stats_snapshot()
+
+        outcomes, snap = asyncio.run(run())
+        assert isinstance(outcomes[0], ShardUnavailableError)
+        assert isinstance(outcomes[1], ShardUnavailableError)
+        for query, result in zip(queries[2:], outcomes[2:]):
+            expected = engine.execute(query)
+            assert result.tids == expected.tids
+            assert result.scores == expected.scores
+        assert snap["failed"] == 2.0
+        assert snap["completed"] == 2.0
+
+    def test_close_force_drains_through_engine_failures(self, relation):
+        """Shutdown under a dead engine resolves every future — no hang."""
+        from repro.errors import ShardWorkerError
+        from repro.serve import ShardUnavailableError
+
+        _, engine = make_engine(relation)
+
+        def broken_execute_many(batch):
+            raise ShardWorkerError(
+                "shard 0 worker process died (exit code -9)", shard_index=0)
+
+        engine.execute_many = broken_execute_many
+        function = sum_function(["N1", "N2"])
+        queries = [TopKQuery(Predicate.of(A1=value % 4), function, 3)
+                   for value in range(9)]
+
+        async def run():
+            config = ServiceConfig(max_batch_size=4, max_linger=60.0,
+                                   min_linger=60.0)
+            service = QueryService(engine, config)
+            async with service:
+                tasks = [asyncio.ensure_future(service.submit(query))
+                         for query in queries]
+                await asyncio.sleep(0)  # admit all; none dispatched yet
+            done, pending = await asyncio.wait(tasks, timeout=10.0)
+            return done, pending, service.stats_snapshot()
+
+        done, pending, snap = asyncio.run(run())
+        assert pending == set()
+        for task in done:
+            with pytest.raises(ShardUnavailableError):
+                task.result()
+        assert snap["failed"] == float(len(queries))
+
+
+class TestDeadlinePropagation:
+    def test_submit_timeout_mints_an_engine_deadline(self, relation):
+        _, engine = make_engine(relation)
+        captured = {}
+        original = engine.execute_many
+
+        def capturing(batch, parent_span=None, deadline=None,
+                      allow_partial=None):
+            captured["deadline"] = deadline
+            return original(batch, parent_span=parent_span)
+
+        engine.execute_many = capturing  # installed before __init__ inspects
+        query = TopKQuery(Predicate.of(A1=0), sum_function(["N1", "N2"]), 3)
+
+        async def run():
+            config = ServiceConfig(max_linger=0.0)
+            async with QueryService(engine, config) as service:
+                await service.submit(query, timeout=5.0)
+                first = captured["deadline"]
+                await service.submit(query, timeout=None)
+                return first, captured["deadline"]
+
+        bounded, unbounded = asyncio.run(run())
+        # The deadline the engine saw ticks on the service clock and is
+        # no looser than the submit timeout that minted it.
+        assert bounded is not None
+        assert 0.0 < bounded.remaining() <= 5.0
+        # No timeout, no deadline: the engine keeps its unbounded waits.
+        assert unbounded is None
+
+    def test_mixed_batch_omits_the_engine_deadline(self, relation):
+        """One unbounded member vetoes the batch's engine deadline.
+
+        The engine-side deadline is the max of the members' deadlines —
+        but only when every live member has one; bounding an unbounded
+        request would let a peer's timeout cancel work the unbounded
+        client is still entitled to.
+        """
+        _, engine = make_engine(relation)
+        seen = []
+        original = engine.execute_many
+
+        def capturing(batch, parent_span=None, deadline=None,
+                      allow_partial=None):
+            seen.append(deadline)
+            return original(batch, parent_span=parent_span)
+
+        engine.execute_many = capturing
+        function = sum_function(["N1", "N2"])
+
+        async def run():
+            config = ServiceConfig(max_batch_size=2, max_linger=0.2)
+            async with QueryService(engine, config) as service:
+                await asyncio.gather(
+                    service.submit(TopKQuery(Predicate.of(A1=0), function, 3),
+                                   timeout=5.0),
+                    service.submit(TopKQuery(Predicate.of(A1=1), function, 3),
+                                   timeout=None))
+
+        asyncio.run(run())
+        assert seen and all(deadline is None for deadline in seen)
