@@ -1,0 +1,262 @@
+"""HTTP serving tier under saturating mixed-priority load: the net gates.
+
+Stands up a real :class:`~repro.net.QueryServer` on an ephemeral TCP
+port and drives it with concurrent asyncio clients over actual sockets,
+then gates the three acceptance bars of the network tier:
+
+1. **Priority separation** — under saturating load from interactive and
+   background clients (more in-flight requests than admission worker
+   slots, so the fair-share queue is always backed up), interactive p99
+   latency must be **strictly below** background p99: the weighted
+   drain demonstrably reorders the backlog.
+2. **Rate-limit isolation** — a throttled client (small token bucket)
+   hammering the server must see 429 + ``Retry-After`` rejections while
+   an unthrottled peer issuing the same traffic sees **zero** — one
+   client's bucket never leaks onto another.
+3. **Streaming bit-identity** — every streamed query's assembled final
+   answer (verified prefixes + final frame) must be bit-identical —
+   tids and float scores compared with ``==`` — to the same query
+   executed in process on an identical engine.
+
+Run directly (``--quick`` for the CI smoke configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_http_serving.py --quick
+
+Emits ``BENCH_http.json`` for the CI artifact upload; exits non-zero
+when any gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.engine import Executor  # noqa: E402
+from repro.functions.linear import skewed_linear_function  # noqa: E402
+from repro.net import (  # noqa: E402
+    AsyncQueryClient,
+    NetConfig,
+    QueryServer,
+    RateLimitedError,
+)
+from repro.query import Predicate, TopKQuery  # noqa: E402
+from repro.serve import QueryService, ServiceConfig  # noqa: E402
+from repro.workloads import SyntheticSpec, generate_relation  # noqa: E402
+
+
+def build_engine(num_tuples: int):
+    relation = generate_relation(SyntheticSpec(
+        num_tuples=num_tuples, num_selection_dims=3, num_ranking_dims=2,
+        cardinality=8, seed=61))
+    engine = Executor.for_relation(relation, block_size=200,
+                                   with_signature=False, with_skyline=False)
+    return relation, engine
+
+
+def build_workload(relation, num_queries: int, seed: int) -> List[TopKQuery]:
+    """Distinct mixed queries (fresh function objects defeat the caches)."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(num_queries):
+        conditions = {}
+        if rng.random() < 0.6:
+            dim = str(rng.choice(relation.selection_dims))
+            column = relation.selection_column(dim)
+            conditions[dim] = int(column[rng.integers(0, len(column))])
+        function = skewed_linear_function(list(relation.ranking_dims),
+                                          float(rng.uniform(1, 3)), rng=rng)
+        k = int(rng.choice([3, 5, 10, 20]))
+        queries.append(TopKQuery(Predicate.of(conditions), function, k))
+    return queries
+
+
+def percentile(values: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else 0.0
+
+
+async def drive_priorities(server, relation, per_class: int):
+    """Saturating mixed-priority load; returns per-class latency lists."""
+
+    async def one_client(priority: str, seed: int) -> List[float]:
+        client = AsyncQueryClient("127.0.0.1", server.port,
+                                  client_id=f"{priority}-{seed}",
+                                  priority=priority)
+        latencies = []
+        for query in build_workload(relation, per_class, seed):
+            started = time.perf_counter()
+            await client.query(query)
+            latencies.append(time.perf_counter() - started)
+        return latencies
+
+    # 3 clients per class, all started together: with concurrency=2
+    # admission slots, the fair-share queue stays saturated throughout.
+    interactive, background = [], []
+    results = await asyncio.gather(
+        *(one_client("interactive", 100 + i) for i in range(3)),
+        *(one_client("background", 200 + i) for i in range(3)))
+    for latencies in results[:3]:
+        interactive.extend(latencies)
+    for latencies in results[3:]:
+        background.extend(latencies)
+    return interactive, background
+
+
+async def drive_rate_limits(server, relation, requests: int):
+    """A throttled and an unthrottled client issue identical traffic."""
+    server.limiter.configure("throttled", rate=2.0, burst=3.0)
+    queries = build_workload(relation, requests, seed=77)
+
+    async def hammer(client_id: str):
+        client = AsyncQueryClient("127.0.0.1", server.port,
+                                  client_id=client_id)
+        served = bounced = 0
+        retry_after = None
+        for query in queries:
+            try:
+                await client.query(query)
+                served += 1
+            except RateLimitedError as exc:
+                bounced += 1
+                retry_after = exc.retry_after
+        return served, bounced, retry_after
+
+    throttled, unthrottled = await asyncio.gather(
+        hammer("throttled"), hammer("unthrottled"))
+    return throttled, unthrottled
+
+
+async def drive_streams(server, queries, reference):
+    """Stream every query and compare the assembled finals to reference."""
+    client = AsyncQueryClient("127.0.0.1", server.port, client_id="stream")
+    mismatches = 0
+    prefixes = 0
+    for query, expected in zip(queries, reference):
+        result, pairs = await client.stream(query)
+        prefixes += len(pairs)
+        if result.tids != expected.tids or result.scores != expected.scores:
+            mismatches += 1
+    return mismatches, prefixes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--tuples", type=int, default=None,
+                        help="relation size override (test-suite smoke)")
+    parser.add_argument("--per-class", type=int, default=None,
+                        help="queries per client in the priority pass")
+    parser.add_argument("--output", default="BENCH_http.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    num_tuples = args.tuples or (5000 if args.quick else 20000)
+    per_class = args.per_class or (12 if args.quick else 40)
+    relation, engine = build_engine(num_tuples)
+    _, twin = build_engine(num_tuples)  # in-process reference, cold caches
+    stream_queries = build_workload(relation, 8 if args.quick else 24,
+                                    seed=303)
+    stream_reference = [twin.execute(query) for query in stream_queries]
+
+    async def run_all():
+        # Tight engine concurrency + 2 admission slots: the backlog
+        # lives in the fair-share queue, where ordering is
+        # priority-aware — the setup the separation gate measures.
+        service_config = ServiceConfig(max_batch_size=16, max_linger=0.002,
+                                       engine_concurrency=2)
+        net_config = NetConfig(concurrency=2, max_pending=4096)
+        async with QueryService(engine, service_config) as service:
+            async with QueryServer(service, net_config) as server:
+                interactive, background = await drive_priorities(
+                    server, relation, per_class)
+                throttled, unthrottled = await drive_rate_limits(
+                    server, relation, 10 if args.quick else 30)
+                mismatches, prefixes = await drive_streams(
+                    server, stream_queries, stream_reference)
+                metrics = service.metrics.snapshot()
+        return (interactive, background, throttled, unthrottled,
+                mismatches, prefixes, metrics)
+
+    started = time.perf_counter()
+    (interactive, background, throttled, unthrottled,
+     mismatches, prefixes, metrics) = asyncio.run(run_all())
+    elapsed = time.perf_counter() - started
+
+    interactive_p99 = percentile(interactive, 99)
+    background_p99 = percentile(background, 99)
+    served, bounced, retry_after = throttled
+    free_served, free_bounced, _ = unthrottled
+
+    report = {
+        "mode": "quick" if args.quick else "full",
+        "tuples": num_tuples,
+        "per_class": per_class,
+        "elapsed_seconds": elapsed,
+        "interactive_p50": percentile(interactive, 50),
+        "interactive_p99": interactive_p99,
+        "background_p50": percentile(background, 50),
+        "background_p99": background_p99,
+        "throttled_served": served,
+        "throttled_bounced": bounced,
+        "throttled_retry_after": retry_after,
+        "unthrottled_served": free_served,
+        "unthrottled_bounced": free_bounced,
+        "stream_queries": len(stream_queries),
+        "stream_mismatches": mismatches,
+        "stream_prefix_pairs": prefixes,
+        "net_requests": metrics.get("net.requests", 0.0),
+        "net_rate_limited": metrics.get("net.rate_limited", 0.0),
+    }
+
+    print(f"# HTTP serving tier ({report['mode']} mode)")
+    print(f"tuples={num_tuples} per_class_queries={per_class} "
+          f"wall={elapsed:.2f}s")
+    print(f"interactive: p50={report['interactive_p50'] * 1000:.1f}ms "
+          f"p99={interactive_p99 * 1000:.1f}ms "
+          f"({len(interactive)} requests)")
+    print(f"background:  p50={report['background_p50'] * 1000:.1f}ms "
+          f"p99={background_p99 * 1000:.1f}ms "
+          f"({len(background)} requests)")
+    print(f"throttled client: {served} served, {bounced} x 429 "
+          f"(Retry-After ~ {retry_after if retry_after else 0:.2f}s); "
+          f"unthrottled peer: {free_served} served, {free_bounced} x 429")
+    print(f"streams: {len(stream_queries)} queries, "
+          f"{prefixes} verified prefix pairs, {mismatches} mismatches")
+
+    failures: List[str] = []
+    if not interactive_p99 < background_p99:
+        failures.append(
+            f"interactive p99 ({interactive_p99 * 1000:.1f}ms) is not "
+            f"strictly below background p99 "
+            f"({background_p99 * 1000:.1f}ms) under saturating load")
+    if bounced <= 0 or retry_after is None or retry_after <= 0:
+        failures.append("the throttled client was never rate limited "
+                        "(gate needs 429s with a positive Retry-After)")
+    if free_bounced > 0:
+        failures.append(f"the unthrottled client saw {free_bounced} "
+                        f"spurious 429s")
+    if mismatches > 0:
+        failures.append(f"{mismatches} streamed finals differ from the "
+                        f"in-process answers (bit-identity gate)")
+
+    report["failures"] = failures
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.output}")
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,12 +18,16 @@ Commands
     breakers recover; answers stay exact); ``--allow-partial`` degrades to
     the exact answer over surviving shards instead of failing when a shard
     stays down.
-``serve [--shards N] [--scatter threads|processes] [--clients C] [--queries Q] [--linger MS] [--chaos SEED] [--allow-partial]``
+``serve [--shards N] [--scatter threads|processes] [--clients C] [--queries Q] [--linger MS] [--chaos SEED] [--allow-partial] [--http HOST:PORT] [--rate R]``
     Start an async :class:`~repro.serve.QueryService` over the engine and
     drive C concurrent clients of Q queries each through it, then print
     the merged metrics-registry snapshot (``serve.*`` + ``shard.*`` +
     ``engine.*`` counters, gauges, and latency percentiles) as JSON — a
-    demo of the request queue + adaptive micro-batcher.
+    demo of the request queue + adaptive micro-batcher.  With ``--http``
+    it instead binds a :class:`~repro.net.QueryServer` on HOST:PORT and
+    serves JSON queries over HTTP/websocket until interrupted (``--rate``
+    sets the default per-client token-bucket rate; see
+    ``docs/network_serving.md``).
 ``analyze [--shards N] [--k K] [--direct]``
     EXPLAIN ANALYZE one top-k query: run it traced and render the span
     tree — queue wait, plan (with per-backend cost estimates), scatter
@@ -214,10 +218,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                        with_signature=False,
                                        with_skyline=False)
         print("engine: unsharded")
-    clients = serving_client_queries(relation, num_clients=args.clients,
-                                     per_client=args.queries)
     config = ServiceConfig(max_batch_size=64,
                            max_linger=args.linger / 1000.0)
+
+    if getattr(args, "http", None):
+        from repro.functions import LinearFunction
+        from repro.net import FunctionRegistry, NetConfig, QueryServer
+
+        host, _, port_text = args.http.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"--http expects HOST:PORT, got {args.http!r}",
+                  file=sys.stderr)
+            return 2
+        registry = FunctionRegistry()
+        registry.register("sum_n1_n2", LinearFunction(["N1", "N2"],
+                                                      [1.0, 1.0]))
+        net_config = NetConfig(host=host, port=int(port_text),
+                               rate=getattr(args, "rate", None))
+
+        async def run_http() -> int:
+            service = QueryService(engine, config, manager=manager,
+                                   relation=relation)
+            async with service:
+                async with QueryServer(service, net_config,
+                                       functions=registry) as server:
+                    print(f"serving HTTP on {server.host}:{server.port} "
+                          f"(POST /v1/query, /v1/query/batch, "
+                          f"/v1/query/stream; GET /v1/ws, /healthz, "
+                          f"/metrics, /v1/stats)")
+                    try:
+                        await asyncio.Event().wait()
+                    except asyncio.CancelledError:
+                        pass
+            return 0
+
+        try:
+            return asyncio.run(run_http())
+        except KeyboardInterrupt:
+            print("shutting down")
+            return 0
+
+    clients = serving_client_queries(relation, num_clients=args.clients,
+                                     per_client=args.queries)
 
     async def run() -> dict:
         service = QueryService(engine, config, manager=manager,
@@ -346,6 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject seeded worker crashes/delays into the "
                             "scatter legs while serving (requires "
                             "--shards > 1)")
+    serve.add_argument("--http", metavar="HOST:PORT", default=None,
+                       help="serve the engine over HTTP/websocket instead of "
+                            "driving synthetic clients (Ctrl-C to stop)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="default per-client token-bucket rate "
+                            "(requests/s) for --http; omit to disable")
     serve.add_argument("--allow-partial", action="store_true",
                        help="degrade to exact answers over surviving shards "
                             "when one stays down, instead of failing "

@@ -71,6 +71,22 @@ class TopKAccumulator:
         return sorted(((-neg_tid, -neg_score) for neg_score, neg_tid in self._heap),
                       key=lambda p: topk_order_key(p[0], p[1]))
 
+    def verified_count(self, bound: float) -> int:
+        """Length of the ranked prefix that is final given ``bound``.
+
+        ``bound`` is a lower bound on every score not yet offered (the
+        frontier minimum during a sweep).  An entry with score strictly
+        below it can neither be displaced (later tuples score no better
+        than ``bound``, so they rank behind it and evict only the tail)
+        nor be preceded by an unseen tuple — so the entries below the
+        bound form a prefix of the final answer, in final rank order.
+        Strictness matters: a retained score *equal* to the bound could
+        still be preceded by an unseen tie with a smaller tid under the
+        canonical ``(score, tid)`` order, exactly the reason the sweep's
+        halt test is strict too.
+        """
+        return sum(1 for neg_score, _ in self._heap if -neg_score < bound)
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -146,8 +162,18 @@ class GridTopKExecutor:
         return function.lower_bound(self.grid.block_box(bid))
 
     def execute(self, provider: CellProvider, function: RankingFunction, k: int,
-                ) -> QueryResult:
-        """Execute the neighborhood-search algorithm of Section 3.3.2."""
+                on_progress=None) -> QueryResult:
+        """Execute the neighborhood-search algorithm of Section 3.3.2.
+
+        ``on_progress`` (optional) streams verified top-k prefixes while
+        the sweep runs: whenever the frontier minimum rises above more of
+        the accumulator, the newly finalized ranks are emitted as
+        ``on_progress(start_rank, [(tid, score), ...])`` — those entries
+        are bit-identical to the same positions of the final answer (see
+        :meth:`TopKAccumulator.verified_count`).  The callback runs on
+        the sweep's thread and must be cheap; ``None`` (the default) adds
+        zero work to the hot loop.
+        """
         for dim in function.dims:
             if dim not in self.grid.dims:
                 raise QueryError(
@@ -176,10 +202,19 @@ class GridTopKExecutor:
 
         heapq.heappush(frontier, (self._block_bound(function, start_bid), start_bid))
         inserted.add(start_bid)
+        emitted = 0
 
         while frontier:
             peak_frontier = max(peak_frontier, len(frontier))
             unseen_score, bid = frontier[0]
+            if on_progress is not None and len(topk) > emitted:
+                # Every unseen tuple scores >= the frontier minimum (the
+                # halt test's invariant), so ranks below it are final —
+                # stream the ones not yet emitted.
+                verified = topk.verified_count(unseen_score)
+                if verified > emitted:
+                    on_progress(emitted, topk.ranked()[emitted:verified])
+                    emitted = verified
             # Strict halt: a block whose bound *equals* the k-th score may
             # still hold a tied tuple with a smaller tid, which the
             # canonical (score, tid) order must admit — only provably worse

@@ -144,11 +144,17 @@ class RankingCube:
     # ------------------------------------------------------------------
     # query execution
     # ------------------------------------------------------------------
-    def query(self, query: TopKQuery) -> QueryResult:
-        """Answer one top-k query using the materialized cube."""
+    def query(self, query: TopKQuery, on_progress=None) -> QueryResult:
+        """Answer one top-k query using the materialized cube.
+
+        ``on_progress`` streams verified top-k prefixes during the sweep
+        (see :meth:`~repro.cube.query.GridTopKExecutor.execute`); the
+        returned result is identical with or without it.
+        """
         query.validate(self.relation)
         provider, chosen = self.plan_for(query.predicate)
-        result = self._executor.execute(provider, query.function, query.k)
+        result = self._executor.execute(provider, query.function, query.k,
+                                        on_progress=on_progress)
         result.extra["covering_cuboids"] = float(len(chosen) if chosen else 1)
         return result
 

@@ -78,6 +78,15 @@ class RankingCubeBackend(Backend):
     def run(self, query):
         return self.cube.query(query)
 
+    def run_stream(self, query, on_progress):
+        """Streaming run: verified prefixes emitted mid-sweep.
+
+        Same answer as :meth:`run`; ``on_progress(start_rank, pairs)``
+        additionally fires as accumulator ranks become provably final
+        (see :meth:`repro.cube.query.GridTopKExecutor.execute`).
+        """
+        return self.cube.query(query, on_progress=on_progress)
+
     def execute_batch(self, queries) -> List:
         """Fused path: one frontier sweep serves the whole group."""
         return self.cube.query_batch(list(queries))

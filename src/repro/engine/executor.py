@@ -128,8 +128,16 @@ class Executor:
             names.add(self.planner.plan(query).backend)
         return names
 
-    def execute(self, query, *, parent_span=None, use_result_cache=True):
+    def execute(self, query, *, parent_span=None, use_result_cache=True,
+                on_progress=None):
         """Plan ``query``, run it on the chosen backend, annotate the result.
+
+        ``on_progress`` opts into streaming: backends exposing a
+        ``run_stream`` (the grid ranking cube) emit verified top-k
+        prefixes as ``on_progress(start_rank, [(tid, score), ...])``
+        while the sweep runs; other backends — and result-cache hits —
+        simply return the final answer without intermediate calls.  The
+        returned result is identical either way.
 
         Results of cacheable queries (top-k and skyline) are memoized in
         :attr:`result_cache` under their canonical query key; a repeat of
@@ -165,7 +173,12 @@ class Executor:
             plan = self._plan_traced(query, span)
             backend = self.registry.get(plan.backend)
             run_span = span.child("engine.run").set("backend", plan.backend)
-            result = backend.run(query)
+            run_stream = (getattr(backend, "run_stream", None)
+                          if on_progress is not None else None)
+            if run_stream is not None:
+                result = run_stream(query, on_progress)
+            else:
+                result = backend.run(query)
             actual = float(getattr(result, "tuples_evaluated", 0))
             run_span.set("tuples_evaluated", actual).finish()
             self._m_tuples.inc(actual)

@@ -1,0 +1,55 @@
+"""repro.net — the HTTP/websocket serving tier over ``repro.serve``.
+
+The network front door of the ranking-cube engine: JSON queries in,
+full result envelopes (plan metadata included) out, with priority-class
+fair-share admission, per-client token-bucket rate limits, and streamed
+verified top-k prefixes.  See ``docs/network_serving.md``.
+"""
+
+from repro.net.admission import AdmissionController, FairShareScheduler
+from repro.net.client import AsyncQueryClient, WebSocketSession
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    FunctionRegistry,
+    ProtocolError,
+    RateLimitedError,
+    RemoteServerError,
+    decode_error,
+    decode_function,
+    decode_query,
+    decode_result,
+    encode_error,
+    encode_function,
+    encode_query,
+    encode_result,
+    status_of,
+)
+from repro.net.ratelimit import TokenBucket, TokenBucketLimiter
+from repro.net.server import NetConfig, QueryServer
+from repro.net.stream import StreamAssembler
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdmissionController",
+    "AsyncQueryClient",
+    "FairShareScheduler",
+    "FunctionRegistry",
+    "NetConfig",
+    "ProtocolError",
+    "QueryServer",
+    "RateLimitedError",
+    "RemoteServerError",
+    "StreamAssembler",
+    "TokenBucket",
+    "TokenBucketLimiter",
+    "WebSocketSession",
+    "decode_error",
+    "decode_function",
+    "decode_query",
+    "decode_result",
+    "encode_error",
+    "encode_function",
+    "encode_query",
+    "encode_result",
+    "status_of",
+]

@@ -1,0 +1,434 @@
+"""Asyncio client for the :mod:`repro.net` serving tier.
+
+:class:`AsyncQueryClient` speaks the same hand-rolled HTTP/1.1 (and
+RFC 6455 websocket) dialect as :class:`~repro.net.server.QueryServer`,
+decodes result envelopes back into the engine's native
+:class:`~repro.query.QueryResult` / ``SkylineResult`` objects, and
+re-raises typed errors (:class:`~repro.net.protocol.RateLimitedError`,
+:class:`~repro.serve.errors.ServiceOverloadedError`, ...) exactly as an
+in-process caller of :meth:`QueryService.submit` would see them — so
+tests and benchmarks can assert wire parity with ``==``, not "close
+enough".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+from typing import AsyncIterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.protocol import (
+    ProtocolError,
+    RemoteServerError,
+    decode_error,
+    decode_result,
+    encode_query,
+)
+from repro.net.stream import StreamAssembler
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+class AsyncQueryClient:
+    """One logical client (one ``client_id``) against one server.
+
+    Plain request/response calls open short-lived connections (the
+    server supports keep-alive, but independent connections keep the
+    client trivially safe under ``asyncio.gather``); :meth:`stream`
+    consumes a chunked NDJSON response; :meth:`websocket` yields a
+    multiplexing session over a single upgraded socket.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 client_id: Optional[str] = None,
+                 priority: Optional[str] = None,
+                 timeout: Optional[float] = None) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.priority = priority
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # low-level HTTP
+    # ------------------------------------------------------------------
+    async def _open(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_connection(self.host, self.port)
+
+    def _headers(self, body: bytes, extra: Optional[Mapping] = None) -> str:
+        headers = {"Host": f"{self.host}:{self.port}",
+                   "Content-Type": "application/json",
+                   "Content-Length": str(len(body)),
+                   "Connection": "close"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        if self.priority is not None:
+            headers["X-Priority"] = self.priority
+        if extra:
+            headers.update(extra)
+        return "".join(f"{name}: {value}\r\n"
+                       for name, value in headers.items())
+
+    async def _request(self, method: str, path: str,
+                       payload: Optional[Mapping] = None
+                       ) -> Tuple[int, Mapping[str, str], bytes]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None \
+            else b""
+        reader, writer = await self._open()
+        try:
+            writer.write((f"{method} {path} HTTP/1.1\r\n"
+                          + self._headers(body) + "\r\n").encode("latin-1")
+                         + body)
+            await writer.drain()
+            status, headers = await self._read_head(reader)
+            if headers.get("transfer-encoding", "").lower() == "chunked":
+                chunks = [chunk async for chunk in self._iter_chunks(reader)]
+                return status, headers, b"".join(chunks)
+            length = int(headers.get("content-length", "0") or 0)
+            data = await reader.readexactly(length) if length \
+                else await reader.read()
+            return status, headers, data
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_head(reader: asyncio.StreamReader
+                         ) -> Tuple[int, Mapping[str, str]]:
+        line = await reader.readline()
+        if not line:
+            raise RemoteServerError("server closed the connection "
+                                    "before sending a status line")
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ProtocolError(f"malformed status line {line!r}")
+        status = int(parts[1])
+        headers = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    @staticmethod
+    async def _iter_chunks(reader: asyncio.StreamReader
+                           ) -> AsyncIterator[bytes]:
+        while True:
+            size_line = await reader.readline()
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await reader.readline()  # trailing CRLF of the last chunk
+                return
+            chunk = await reader.readexactly(size)
+            await reader.readexactly(2)  # CRLF after each chunk
+            yield chunk
+
+    @staticmethod
+    def _raise_for_status(status: int, body: bytes) -> None:
+        if status < 400:
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise RemoteServerError(
+                f"HTTP {status} with an undecodable body", status=status)
+        raise decode_error(payload, status)
+
+    def _envelope(self, *, timeout: Optional[float],
+                  priority: Optional[str],
+                  allow_partial: Optional[bool]) -> dict:
+        envelope: dict = {}
+        effective_timeout = self.timeout if timeout is None else timeout
+        if effective_timeout is not None:
+            envelope["timeout"] = float(effective_timeout)
+        effective_priority = priority or self.priority
+        if effective_priority is not None:
+            envelope["priority"] = effective_priority
+        if self.client_id is not None:
+            envelope["client_id"] = self.client_id
+        if allow_partial is not None:
+            envelope["allow_partial"] = bool(allow_partial)
+        return envelope
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    async def query(self, query, *, timeout: Optional[float] = None,
+                    priority: Optional[str] = None,
+                    allow_partial: Optional[bool] = None):
+        """Submit one query; returns the decoded result object."""
+        envelope = self._envelope(timeout=timeout, priority=priority,
+                                  allow_partial=allow_partial)
+        envelope["query"] = encode_query(query)
+        status, _headers, body = await self._request("POST", "/v1/query",
+                                                     envelope)
+        self._raise_for_status(status, body)
+        return decode_result(json.loads(body.decode("utf-8"))["result"])
+
+    async def query_many(self, queries: Sequence, *,
+                         timeout: Optional[float] = None,
+                         priority: Optional[str] = None,
+                         allow_partial: Optional[bool] = None) -> List:
+        """Submit a batch through ``/v1/query/batch`` (one fused group
+        candidate server-side); returns decoded results in order."""
+        envelope = self._envelope(timeout=timeout, priority=priority,
+                                  allow_partial=allow_partial)
+        envelope["queries"] = [encode_query(q) for q in queries]
+        status, _headers, body = await self._request(
+            "POST", "/v1/query/batch", envelope)
+        self._raise_for_status(status, body)
+        return [decode_result(entry) for entry
+                in json.loads(body.decode("utf-8"))["results"]]
+
+    async def stream(self, query, *, timeout: Optional[float] = None,
+                     priority: Optional[str] = None,
+                     on_prefix=None):
+        """Stream one query; returns ``(result, streamed_pairs)``.
+
+        ``on_prefix(start, entries)`` is invoked per verified prefix
+        frame as it arrives.  The assembled result is checked against
+        the streamed prefixes (:class:`StreamAssembler`) and the typed
+        error re-raised if the stream ends in an error frame.
+        """
+        envelope = self._envelope(timeout=timeout, priority=priority,
+                                  allow_partial=None)
+        envelope["query"] = encode_query(query)
+        body = json.dumps(envelope).encode("utf-8")
+        reader, writer = await self._open()
+        assembler = StreamAssembler()
+        try:
+            writer.write(("POST /v1/query/stream HTTP/1.1\r\n"
+                          + self._headers(body) + "\r\n").encode("latin-1")
+                         + body)
+            await writer.drain()
+            status, headers = await self._read_head(reader)
+            if status != 200:
+                length = int(headers.get("content-length", "0") or 0)
+                data = await reader.readexactly(length) if length \
+                    else await reader.read()
+                self._raise_for_status(status, data)
+            buffer = b""
+            async for chunk in self._iter_chunks(reader):
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    frame = json.loads(line.decode("utf-8"))
+                    done = assembler.feed(frame)
+                    if frame.get("frame") == "prefix" and on_prefix:
+                        on_prefix(frame["start"], frame["entries"])
+                    if done:
+                        break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if assembler.error is not None:
+            raise assembler.error
+        if not assembler.done:
+            raise RemoteServerError("stream ended without a final frame")
+        return assembler.result, list(assembler.pairs)
+
+    async def healthz(self) -> Mapping:
+        status, _headers, body = await self._request("GET", "/healthz")
+        self._raise_for_status(status, body)
+        return json.loads(body.decode("utf-8"))
+
+    async def metrics_text(self) -> str:
+        status, _headers, body = await self._request("GET", "/metrics")
+        self._raise_for_status(status, body)
+        return body.decode("utf-8")
+
+    async def stats(self) -> Mapping:
+        status, _headers, body = await self._request("GET", "/v1/stats")
+        self._raise_for_status(status, body)
+        return json.loads(body.decode("utf-8"))
+
+    async def functions(self) -> List[str]:
+        status, _headers, body = await self._request("GET", "/v1/functions")
+        self._raise_for_status(status, body)
+        return list(json.loads(body.decode("utf-8"))["functions"])
+
+    def websocket(self) -> "WebSocketSession":
+        """``async with client.websocket() as ws: ...`` — one upgraded
+        socket multiplexing queries and streams by request id."""
+        return WebSocketSession(self)
+
+
+class WebSocketSession:
+    """A client-side RFC 6455 session against ``GET /v1/ws``."""
+
+    def __init__(self, client: AsyncQueryClient) -> None:
+        self._client = client
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 0
+
+    async def __aenter__(self) -> "WebSocketSession":
+        client = self._client
+        reader, writer = await client._open()
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        headers = {"Host": f"{client.host}:{client.port}",
+                   "Upgrade": "websocket",
+                   "Connection": "Upgrade",
+                   "Sec-WebSocket-Key": key,
+                   "Sec-WebSocket-Version": "13"}
+        if client.client_id is not None:
+            headers["X-Client-Id"] = client.client_id
+        head = "GET /v1/ws HTTP/1.1\r\n" + "".join(
+            f"{name}: {value}\r\n" for name, value in headers.items()) + "\r\n"
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        status, response_headers = await AsyncQueryClient._read_head(reader)
+        if status != 101:
+            length = int(response_headers.get("content-length", "0") or 0)
+            body = await reader.readexactly(length) if length else b""
+            writer.close()
+            AsyncQueryClient._raise_for_status(status, body)
+            raise RemoteServerError(f"websocket upgrade refused ({status})",
+                                    status=status)
+        self._reader, self._writer = reader, writer
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(self._frame(0x8, b""))
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._reader = self._writer = None
+
+    # -- framing (client→server frames must be masked) ------------------
+    @staticmethod
+    def _frame(opcode: int, payload: bytes) -> bytes:
+        head = bytes([0x80 | opcode])
+        length = len(payload)
+        if length < 126:
+            head += bytes([0x80 | length])
+        elif length < (1 << 16):
+            head += bytes([0x80 | 126]) + length.to_bytes(2, "big")
+        else:
+            head += bytes([0x80 | 127]) + length.to_bytes(8, "big")
+        mask = os.urandom(4)
+        masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+        return head + mask + masked
+
+    async def _send(self, obj: Mapping) -> None:
+        if self._writer is None:
+            raise RemoteServerError("websocket session is closed")
+        self._writer.write(self._frame(0x1, json.dumps(obj).encode("utf-8")))
+        await self._writer.drain()
+
+    async def _recv(self) -> Optional[Mapping]:
+        """Next JSON message; None when the server closes the socket."""
+        reader, writer = self._reader, self._writer
+        if reader is None:
+            raise RemoteServerError("websocket session is closed")
+        parts = []
+        while True:
+            try:
+                first = await reader.readexactly(2)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return None
+            fin = bool(first[0] & 0x80)
+            opcode = first[0] & 0x0F
+            masked = bool(first[1] & 0x80)
+            length = first[1] & 0x7F
+            if length == 126:
+                length = int.from_bytes(await reader.readexactly(2), "big")
+            elif length == 127:
+                length = int.from_bytes(await reader.readexactly(8), "big")
+            mask = await reader.readexactly(4) if masked else b""
+            payload = await reader.readexactly(length) if length else b""
+            if masked:
+                payload = bytes(b ^ mask[i % 4]
+                                for i, b in enumerate(payload))
+            if opcode == 0x8:
+                return None
+            if opcode == 0x9:  # server ping → masked pong
+                writer.write(self._frame(0xA, payload))
+                await writer.drain()
+                continue
+            if opcode == 0xA:
+                continue
+            parts.append(payload)
+            if fin:
+                return json.loads(b"".join(parts).decode("utf-8"))
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- public calls ----------------------------------------------------
+    async def query(self, query, *, timeout: Optional[float] = None,
+                    priority: Optional[str] = None,
+                    allow_partial: Optional[bool] = None):
+        envelope = self._client._envelope(timeout=timeout, priority=priority,
+                                          allow_partial=allow_partial)
+        request_id = self._fresh_id()
+        envelope.update({"id": request_id, "query": encode_query(query)})
+        await self._send(envelope)
+        frame = await self._await_frame(request_id)
+        if frame["frame"] == "error":
+            raise decode_error({"error": frame["error"]},
+                               int(frame["error"].get("status", 500)))
+        return decode_result(frame["result"])
+
+    async def stream(self, query, *, timeout: Optional[float] = None,
+                     priority: Optional[str] = None):
+        """Stream over the socket; returns ``(result, streamed_pairs)``."""
+        envelope = self._client._envelope(timeout=timeout, priority=priority,
+                                          allow_partial=None)
+        request_id = self._fresh_id()
+        envelope.update({"id": request_id, "query": encode_query(query),
+                         "stream": True})
+        await self._send(envelope)
+        assembler = StreamAssembler()
+        while True:
+            frame = await self._await_frame(request_id)
+            if assembler.feed(frame):
+                break
+        if assembler.error is not None:
+            raise assembler.error
+        return assembler.result, list(assembler.pairs)
+
+    async def _await_frame(self, request_id: int) -> Mapping:
+        """Next frame tagged with ``request_id``.
+
+        Single-waiter discipline: frames for other ids are an error here
+        (interleave calls with ``asyncio.gather`` over *separate*
+        sessions for true concurrency; in-session multiplexing is what
+        the server supports, this minimal client consumes sequentially).
+        """
+        frame = await self._recv()
+        if frame is None:
+            raise RemoteServerError(
+                "server closed the websocket mid-request")
+        if frame.get("id") != request_id:
+            raise ProtocolError(
+                f"frame for request {frame.get('id')!r} while awaiting "
+                f"{request_id!r}")
+        return frame
+
+
+__all__ = ["AsyncQueryClient", "WebSocketSession"]

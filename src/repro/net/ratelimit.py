@@ -1,0 +1,114 @@
+"""Per-client token-bucket rate limiting for the HTTP tier.
+
+One :class:`TokenBucket` per client id, refilled continuously at
+``rate`` tokens/second up to a ``burst`` ceiling.  A request costs one
+token; when the bucket cannot cover it the limiter answers with the
+exact time until it can — the principled ``Retry-After`` the 429
+response carries (distinct from the queue-full 503, which hints from
+queue depth and drain rate instead; see
+:meth:`~repro.serve.errors.ServiceOverloadedError`).
+
+The limiter is synchronous and clock-injected (no asyncio here): the
+server calls it inline on the event loop, tests drive it with a fake
+clock.  Unknown clients lazily get a bucket with the default parameters;
+:meth:`TokenBucketLimiter.configure` pins per-client overrides (a paying
+tier, an abusive batch job).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity refilled at ``rate``/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated_at = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self.updated_at
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated_at = now
+
+    def take(self, now: float, cost: float = 1.0) -> Tuple[bool, float]:
+        """Try to spend ``cost`` tokens; return ``(allowed, retry_after)``.
+
+        On denial the bucket is left untouched and ``retry_after`` is the
+        seconds until the deficit refills; on success it is ``0.0``.
+        """
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        return False, (cost - self.tokens) / self.rate
+
+
+class TokenBucketLimiter:
+    """Buckets keyed by client id, with per-client overrides.
+
+    Parameters
+    ----------
+    rate / burst:
+        Defaults for clients without an override.  ``rate=None`` turns
+        the limiter off entirely (every request admitted), the default —
+        serving deployments opt in through
+        :class:`~repro.net.server.NetConfig`.
+    clock:
+        Monotonic time source (injected by tests).
+    """
+
+    def __init__(self, rate: Optional[float] = None, burst: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._overrides: Dict[str, Tuple[float, float]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None or bool(self._overrides)
+
+    def configure(self, client_id: str, rate: float, burst: float) -> None:
+        """Pin ``client_id`` to its own ``rate``/``burst`` (resets its bucket)."""
+        self._overrides[client_id] = (float(rate), float(burst))
+        self._buckets.pop(client_id, None)
+
+    def _bucket_for(self, client_id: str) -> Optional[TokenBucket]:
+        bucket = self._buckets.get(client_id)
+        if bucket is not None:
+            return bucket
+        override = self._overrides.get(client_id)
+        if override is not None:
+            rate, burst = override
+        elif self.rate is not None:
+            rate, burst = self.rate, self.burst
+        else:
+            return None
+        bucket = TokenBucket(rate, burst, self._clock())
+        self._buckets[client_id] = bucket
+        return bucket
+
+    def check(self, client_id: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """Admit or reject one request from ``client_id``.
+
+        Returns ``(allowed, retry_after)``; clients with no default and
+        no override are always admitted.
+        """
+        bucket = self._bucket_for(client_id)
+        if bucket is None:
+            return True, 0.0
+        return bucket.take(self._clock(), cost)
+
+
+__all__ = ["TokenBucket", "TokenBucketLimiter"]

@@ -1,0 +1,611 @@
+"""The HTTP/1.1 + websocket front door over a :class:`QueryService`.
+
+Stdlib-asyncio only — requests are parsed straight off the stream reader
+(the repo bakes in no web framework), in the thin-web-layer shape of the
+slicer servers: translate the wire request into an engine call, return
+structured JSON carrying the engine's full plan metadata.
+
+Routes
+------
+* ``POST /v1/query`` — one query through rate limiting and fair-share
+  admission; ``{"result": ...}`` on 200, typed error envelopes otherwise.
+* ``POST /v1/query/batch`` — ``{"queries": [...]}`` through
+  ``submit_many`` (one micro-batch candidate); ``{"results": [...]}``.
+* ``POST /v1/query/stream`` — chunked NDJSON stream of verified top-k
+  prefix frames and one final frame (see :mod:`repro.net.stream`).
+* ``GET /v1/ws`` — RFC 6455 websocket; each text message is a request
+  envelope with a client-chosen ``id``, answered by id-tagged frames, so
+  one socket multiplexes queries and streams concurrently.
+* ``GET /healthz`` — liveness (200 as long as the loop serves).
+* ``GET /metrics`` — Prometheus text exposition of the shared registry.
+* ``GET /v1/stats`` — the service's merged stats snapshot as JSON.
+* ``GET /v1/functions`` — names in the server's function registry.
+
+Request headers ``X-Client-Id`` and ``X-Priority`` (or body fields
+``client_id`` / ``priority``, which win) select the token bucket and the
+admission class.  Failures map to typed status codes via
+:data:`repro.net.protocol.ERROR_STATUS` — 429 with ``Retry-After`` for
+an exhausted token bucket, 503 with ``Retry-After`` for a full admission
+queue, 504 for deadline misses, 400 for malformed requests — and
+degraded (partial) answers are flagged in the response envelope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.net.admission import AdmissionController
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    FunctionRegistry,
+    ProtocolError,
+    RateLimitedError,
+    decode_priority,
+    decode_query,
+    encode_error,
+    encode_result,
+    retry_after_of,
+    status_of,
+)
+from repro.net.ratelimit import TokenBucketLimiter
+from repro.net.stream import error_frame, final_frame, prefix_frame
+from repro.serve.batcher import DEFAULT_PRIORITY
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Tunables of the HTTP tier."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: ephemeral, read the bound port off ``server.port``
+    #: Admission queue capacity (503 + Retry-After beyond it).
+    max_pending: int = 1024
+    #: Fair-share worker slots — how many requests may be inside the
+    #: QueryService at once; the backlog beyond them queues *here*, in
+    #: priority order, instead of FIFO in a socket buffer.
+    concurrency: int = 8
+    #: Per-class weight overrides (merged over the serve defaults).
+    class_weights: Mapping[str, float] = field(default_factory=dict)
+    #: Default token-bucket rate (requests/second) and burst per client;
+    #: ``rate=None`` disables rate limiting for clients without explicit
+    #: overrides (``TokenBucketLimiter.configure``).
+    rate: Optional[float] = None
+    burst: float = 10.0
+    #: Server-side timeout (seconds) applied when a request names none.
+    default_timeout: Optional[float] = None
+    #: Client id assumed when neither header nor body names one.
+    default_client_id: str = "anonymous"
+    max_body_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if self.concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        if self.max_body_bytes <= 0:
+            raise ValueError("max_body_bytes must be positive")
+
+
+class QueryServer:
+    """Serve a :class:`~repro.serve.service.QueryService` over a socket.
+
+    Usage::
+
+        async with QueryService(engine) as service:
+            async with QueryServer(service, NetConfig(port=0)) as server:
+                ...  # server.port is the bound port
+
+    ``functions`` (a :class:`~repro.net.protocol.FunctionRegistry`) lets
+    clients rank by registered name; structural function encodings work
+    without one.  ``metrics`` defaults to the service's registry so one
+    scrape covers ``net.*``, ``serve.*``, and the engine.
+    """
+
+    def __init__(self, service, config: Optional[NetConfig] = None, *,
+                 functions: Optional[FunctionRegistry] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.service = service
+        self.config = config or NetConfig()
+        self.functions = functions
+        self._clock = clock
+        self.metrics = service.metrics
+        self.admission = AdmissionController(
+            service, weights=dict(self.config.class_weights),
+            max_pending=self.config.max_pending,
+            concurrency=self.config.concurrency, clock=clock)
+        self.limiter = TokenBucketLimiter(self.config.rate, self.config.burst,
+                                          clock=clock)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._m_requests = self.metrics.counter("net.requests")
+        self._m_rate_limited = self.metrics.counter("net.rate_limited")
+        self._m_errors = self.metrics.counter("net.errors")
+        self._m_streams = self.metrics.counter("net.streams")
+        self._m_stream_frames = self.metrics.counter("net.stream_frames")
+        self._m_active = self.metrics.gauge("net.active_connections")
+        self._m_ws_messages = self.metrics.counter("net.ws_messages")
+        self._class_latency: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "QueryServer":
+        if self._server is not None:
+            raise RuntimeError("QueryServer is already started")
+        await self.admission.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` ephemeral binds)."""
+        if self._server is None:
+            raise RuntimeError("QueryServer is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    async def close(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        await self.admission.close()
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # metrics helpers
+    # ------------------------------------------------------------------
+    def _observe_latency(self, priority: str, seconds: float) -> None:
+        histogram = self._class_latency.get(priority)
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                f"net.latency_seconds.{priority}")
+            self._class_latency[priority] = histogram
+        histogram.observe(seconds)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._m_active.inc(1.0)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                if request is None:
+                    return
+                method, path, headers, body = request
+                if (path == "/v1/ws"
+                        and "websocket" in headers.get("upgrade", "").lower()):
+                    await self._serve_websocket(reader, writer, headers)
+                    return
+                keep_alive = headers.get("connection", "").lower() != "close"
+                done = await self._dispatch_http(method, path, headers, body,
+                                                 writer, keep_alive)
+                if not done or not keep_alive:
+                    return
+        finally:
+            self._m_active.inc(-1.0)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise ProtocolError("malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > self.config.max_body_bytes:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    def _error_headers(exc: Exception) -> Dict[str, str]:
+        retry_after = retry_after_of(exc)
+        if retry_after is None:
+            return {}
+        # Retry-After is integer delta-seconds on the wire; the exact
+        # float rides in the JSON envelope.
+        return {"Retry-After": str(max(int(math.ceil(retry_after)), 1))}
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         payload: dict, *, keep_alive: bool = True,
+                         extra_headers: Optional[Dict[str, str]] = None,
+                         content_type: str = "application/json") -> None:
+        body = json.dumps(payload).encode("utf-8")
+        await self._send_raw(writer, status, body, content_type,
+                             keep_alive=keep_alive,
+                             extra_headers=extra_headers)
+
+    async def _send_raw(self, writer: asyncio.StreamWriter, status: int,
+                        body: bytes, content_type: str, *,
+                        keep_alive: bool = True,
+                        extra_headers: Optional[Dict[str, str]] = None
+                        ) -> None:
+        reason = _REASONS.get(status, "OK")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 f"Content-Type: {content_type}",
+                 f"Content-Length: {len(body)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # HTTP routing
+    # ------------------------------------------------------------------
+    async def _dispatch_http(self, method: str, path: str,
+                             headers: Dict[str, str], body: bytes,
+                             writer: asyncio.StreamWriter,
+                             keep_alive: bool) -> bool:
+        """Route one request; returns False when the connection was taken
+        over (streaming) and the keep-alive loop must stop."""
+        self._m_requests.inc()
+        try:
+            if path == "/healthz":
+                await self._send_json(writer, 200, {
+                    "status": "ok", "protocol_version": PROTOCOL_VERSION,
+                    "pending": float(len(self.service.batcher))},
+                    keep_alive=keep_alive)
+                return True
+            if path == "/metrics":
+                text = self.metrics.render_prometheus()
+                await self._send_raw(writer, 200, text.encode("utf-8"),
+                                     "text/plain; version=0.0.4",
+                                     keep_alive=keep_alive)
+                return True
+            if path == "/v1/stats":
+                snap = dict(self.service.stats_snapshot())
+                for name, depth in self.admission.pending_by_class().items():
+                    snap[f"net_pending_{name}"] = float(depth)
+                await self._send_json(writer, 200, snap,
+                                      keep_alive=keep_alive)
+                return True
+            if path == "/v1/functions":
+                names = self.functions.names() if self.functions else []
+                await self._send_json(writer, 200, {"functions": names},
+                                      keep_alive=keep_alive)
+                return True
+            if path in ("/v1/query", "/v1/query/batch", "/v1/query/stream"):
+                if method != "POST":
+                    await self._send_json(
+                        writer, 405,
+                        encode_error(ProtocolError(f"{path} requires POST")),
+                        keep_alive=keep_alive)
+                    return True
+                return await self._serve_query(path, headers, body, writer,
+                                               keep_alive)
+            await self._send_json(
+                writer, 404,
+                encode_error(ProtocolError(f"unknown path {path!r}")),
+                keep_alive=keep_alive)
+            return True
+        except Exception as exc:  # noqa: BLE001 — typed at the boundary
+            self._m_errors.inc()
+            status = status_of(exc)
+            await self._send_json(writer, status, encode_error(exc),
+                                  keep_alive=keep_alive,
+                                  extra_headers=self._error_headers(exc))
+            return True
+
+    def _request_context(self, headers: Dict[str, str], envelope: Mapping
+                         ) -> Tuple[str, str, Optional[float], Optional[bool]]:
+        """(client_id, priority, timeout, allow_partial) of one request."""
+        client_id = str(envelope.get("client_id")
+                        or headers.get("x-client-id")
+                        or self.config.default_client_id)
+        priority = decode_priority(envelope.get("priority")
+                                   or headers.get("x-priority"),
+                                   default=DEFAULT_PRIORITY)
+        timeout = envelope.get("timeout", self.config.default_timeout)
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ProtocolError("timeout must be positive")
+        allow_partial = envelope.get("allow_partial")
+        if allow_partial is not None:
+            allow_partial = bool(allow_partial)
+        return client_id, priority, timeout, allow_partial
+
+    def _check_rate(self, client_id: str) -> None:
+        allowed, retry_after = self.limiter.check(client_id)
+        if not allowed:
+            self._m_rate_limited.inc()
+            raise RateLimitedError(
+                f"client {client_id!r} exceeded its request rate",
+                retry_after=retry_after)
+
+    def _parse_envelope(self, body: bytes) -> Mapping:
+        try:
+            envelope = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+        if not isinstance(envelope, Mapping):
+            raise ProtocolError("request body must be a JSON object")
+        return envelope
+
+    async def _serve_query(self, path: str, headers: Dict[str, str],
+                           body: bytes, writer: asyncio.StreamWriter,
+                           keep_alive: bool) -> bool:
+        envelope = self._parse_envelope(body)
+        client_id, priority, timeout, allow_partial = \
+            self._request_context(headers, envelope)
+        started = self._clock()
+        try:
+            self._check_rate(client_id)
+            if path == "/v1/query/stream":
+                query = decode_query(envelope.get("query"), self.functions)
+                await self._serve_stream(query, priority, timeout, writer)
+                return False  # connection taken over; loop must not reuse it
+            if path == "/v1/query/batch":
+                raw = envelope.get("queries")
+                if not isinstance(raw, (list, tuple)):
+                    raise ProtocolError("'queries' must be a JSON array")
+                queries = [decode_query(q, self.functions) for q in raw]
+                results = await self.admission.submit(
+                    queries, client_id=client_id, priority=priority,
+                    timeout=timeout, allow_partial=allow_partial, many=True)
+                payload = {"results": [encode_result(r) for r in results]}
+            else:
+                query = decode_query(envelope.get("query"), self.functions)
+                result = await self.admission.submit(
+                    query, client_id=client_id, priority=priority,
+                    timeout=timeout, allow_partial=allow_partial)
+                payload = {"result": encode_result(result)}
+        finally:
+            self._observe_latency(priority, self._clock() - started)
+        await self._send_json(writer, 200, payload, keep_alive=keep_alive)
+        return True
+
+    async def _serve_stream(self, query, priority: str,
+                            timeout: Optional[float],
+                            writer: asyncio.StreamWriter) -> None:
+        """Chunked NDJSON: one frame per chunk, flushed as verified."""
+        self._m_streams.inc()
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+
+        async def send_frame(frame: dict) -> None:
+            data = (json.dumps(frame) + "\n").encode("utf-8")
+            writer.write(f"{len(data):x}\r\n".encode("latin-1")
+                         + data + b"\r\n")
+            self._m_stream_frames.inc()
+            await writer.drain()
+
+        try:
+            async for frame in self.service.submit_stream(
+                    query, timeout=timeout, priority=priority):
+                if frame[0] == "prefix":
+                    await send_frame(prefix_frame(frame[1], frame[2]))
+                else:
+                    await send_frame(final_frame(frame[1]))
+        except (ConnectionError, OSError):
+            return  # client went away mid-stream
+        except Exception as exc:  # noqa: BLE001 — typed on the wire
+            self._m_errors.inc()
+            try:
+                await send_frame(error_frame(exc))
+            except (ConnectionError, OSError):
+                return
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # websocket
+    # ------------------------------------------------------------------
+    async def _serve_websocket(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter,
+                               headers: Dict[str, str]) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            await self._send_json(
+                writer, 400,
+                encode_error(ProtocolError("missing Sec-WebSocket-Key")),
+                keep_alive=False)
+            return
+        accept = base64.b64encode(hashlib.sha1(
+            (key + _WS_GUID).encode("latin-1")).digest()).decode("latin-1")
+        writer.write(("HTTP/1.1 101 Switching Protocols\r\n"
+                      "Upgrade: websocket\r\n"
+                      "Connection: Upgrade\r\n"
+                      f"Sec-WebSocket-Accept: {accept}\r\n\r\n"
+                      ).encode("latin-1"))
+        await writer.drain()
+        send_lock = asyncio.Lock()
+        tasks: set = set()
+        default_client = headers.get("x-client-id",
+                                     self.config.default_client_id)
+        try:
+            while True:
+                message = await self._ws_read_message(reader, writer,
+                                                      send_lock)
+                if message is None:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._ws_handle_message(message, writer, send_lock,
+                                            default_client))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _ws_read_message(self, reader, writer, send_lock
+                               ) -> Optional[str]:
+        """One text message (fragments reassembled); None on close."""
+        parts = []
+        while True:
+            first = await reader.readexactly(2)
+            fin = bool(first[0] & 0x80)
+            opcode = first[0] & 0x0F
+            masked = bool(first[1] & 0x80)
+            length = first[1] & 0x7F
+            if length == 126:
+                length = int.from_bytes(await reader.readexactly(2), "big")
+            elif length == 127:
+                length = int.from_bytes(await reader.readexactly(8), "big")
+            if length > self.config.max_body_bytes:
+                raise ProtocolError("websocket message exceeds the body limit")
+            mask = await reader.readexactly(4) if masked else b""
+            payload = await reader.readexactly(length) if length else b""
+            if masked:
+                payload = bytes(b ^ mask[i % 4]
+                                for i, b in enumerate(payload))
+            if opcode == 0x8:  # close
+                async with send_lock:
+                    writer.write(self._ws_frame(0x8, payload[:2]))
+                    await writer.drain()
+                return None
+            if opcode == 0x9:  # ping → pong
+                async with send_lock:
+                    writer.write(self._ws_frame(0xA, payload))
+                    await writer.drain()
+                continue
+            if opcode == 0xA:  # unsolicited pong
+                continue
+            if opcode in (0x1, 0x2, 0x0):
+                parts.append(payload)
+                if fin:
+                    return b"".join(parts).decode("utf-8")
+                continue
+            raise ProtocolError(f"unsupported websocket opcode {opcode}")
+
+    @staticmethod
+    def _ws_frame(opcode: int, payload: bytes) -> bytes:
+        """One server→client frame (FIN set, unmasked)."""
+        head = bytes([0x80 | opcode])
+        length = len(payload)
+        if length < 126:
+            head += bytes([length])
+        elif length < (1 << 16):
+            head += bytes([126]) + length.to_bytes(2, "big")
+        else:
+            head += bytes([127]) + length.to_bytes(8, "big")
+        return head + payload
+
+    async def _ws_send(self, writer, send_lock, obj: dict) -> None:
+        data = json.dumps(obj).encode("utf-8")
+        async with send_lock:
+            writer.write(self._ws_frame(0x1, data))
+            await writer.drain()
+
+    async def _ws_handle_message(self, message: str,
+                                 writer: asyncio.StreamWriter,
+                                 send_lock: asyncio.Lock,
+                                 default_client: str) -> None:
+        self._m_ws_messages.inc()
+        request_id = None
+        priority = DEFAULT_PRIORITY
+        started = self._clock()
+        try:
+            try:
+                envelope = json.loads(message)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"websocket message is not JSON: {exc}")
+            if not isinstance(envelope, Mapping):
+                raise ProtocolError("websocket message must be a JSON object")
+            request_id = envelope.get("id")
+            client_id, priority, timeout, allow_partial = \
+                self._request_context({"x-client-id": default_client},
+                                      envelope)
+            self._check_rate(client_id)
+            if envelope.get("stream"):
+                self._m_streams.inc()
+                query = decode_query(envelope.get("query"), self.functions)
+                async for frame in self.service.submit_stream(
+                        query, timeout=timeout, priority=priority):
+                    if frame[0] == "prefix":
+                        payload = prefix_frame(frame[1], frame[2])
+                    else:
+                        payload = final_frame(frame[1])
+                    payload["id"] = request_id
+                    self._m_stream_frames.inc()
+                    await self._ws_send(writer, send_lock, payload)
+            elif "queries" in envelope:
+                raw = envelope.get("queries")
+                if not isinstance(raw, (list, tuple)):
+                    raise ProtocolError("'queries' must be a JSON array")
+                queries = [decode_query(q, self.functions) for q in raw]
+                results = await self.admission.submit(
+                    queries, client_id=client_id, priority=priority,
+                    timeout=timeout, allow_partial=allow_partial, many=True)
+                await self._ws_send(writer, send_lock, {
+                    "id": request_id, "frame": "batch",
+                    "results": [encode_result(r) for r in results]})
+            else:
+                query = decode_query(envelope.get("query"), self.functions)
+                result = await self.admission.submit(
+                    query, client_id=client_id, priority=priority,
+                    timeout=timeout, allow_partial=allow_partial)
+                frame = final_frame(result)
+                frame["id"] = request_id
+                await self._ws_send(writer, send_lock, frame)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # noqa: BLE001 — typed on the wire
+            self._m_errors.inc()
+            frame = error_frame(exc)
+            frame["id"] = request_id
+            try:
+                await self._ws_send(writer, send_lock, frame)
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            self._observe_latency(priority, self._clock() - started)
+
+
+__all__ = ["NetConfig", "QueryServer"]

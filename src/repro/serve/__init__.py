@@ -25,7 +25,13 @@ Responses are bit-identical to calling the engine directly; their
 engine's ``fused_group_size``.
 """
 
-from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.batcher import (
+    DEFAULT_CLASS_WEIGHTS,
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    MicroBatcher,
+    QueuedRequest,
+)
 from repro.serve.config import ServiceConfig
 from repro.serve.errors import (
     RequestTimeoutError,
@@ -38,6 +44,9 @@ from repro.serve.service import QueryService
 from repro.serve.stats import ServiceStats, percentile
 
 __all__ = [
+    "DEFAULT_CLASS_WEIGHTS",
+    "DEFAULT_PRIORITY",
+    "PRIORITY_CLASSES",
     "MicroBatcher",
     "QueryService",
     "QueuedRequest",

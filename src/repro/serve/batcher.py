@@ -36,7 +36,21 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
+
+#: Admission priority classes, most to least urgent.  The batcher drains
+#: them by smooth weighted round-robin (:data:`DEFAULT_CLASS_WEIGHTS`),
+#: so interactive traffic jumps most of the queue under saturation while
+#: background work still makes progress instead of starving.
+PRIORITY_CLASSES = ("interactive", "batch", "background")
+
+DEFAULT_PRIORITY = "interactive"
+
+#: Smooth-WRR weights: out of every 12 drained slots under full backlog,
+#: 8 go to interactive, 3 to batch, 1 to background.
+DEFAULT_CLASS_WEIGHTS: Dict[str, float] = {
+    "interactive": 8.0, "batch": 3.0, "background": 1.0,
+}
 
 
 @dataclass
@@ -60,6 +74,15 @@ class QueuedRequest:
     #: one) so scatter legs — including process workers' pipe waits —
     #: are bounded by the same clock the client is waiting on.
     deadline: Optional[object] = field(default=None)
+    #: Admission priority class (one of :data:`PRIORITY_CLASSES`); decides
+    #: which per-class queue the request waits in and how eagerly the
+    #: weighted drain picks it when the backlog exceeds one batch.
+    priority: str = field(default=DEFAULT_PRIORITY)
+    #: Per-request degraded-answer opt-in: ``True`` asks the engine for a
+    #: partial answer over surviving shards instead of an error.  The
+    #: dispatcher propagates it engine-ward only when every live batch
+    #: member opted in (mirroring the deadline rule).
+    allow_partial: Optional[bool] = field(default=None)
 
 
 class MicroBatcher:
@@ -85,33 +108,55 @@ class MicroBatcher:
         #: Current adaptive linger, always within [min_linger, max_linger].
         self.linger = max_linger
         self.clock = clock
-        self._pending: Deque[QueuedRequest] = deque()
+        self._pending: Dict[str, Deque[QueuedRequest]] = {
+            name: deque() for name in PRIORITY_CLASSES}
+        self._weights = dict(DEFAULT_CLASS_WEIGHTS)
+        self._credits: Dict[str, float] = {
+            name: 0.0 for name in PRIORITY_CLASSES}
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return sum(len(q) for q in self._pending.values())
 
     def append(self, request: QueuedRequest) -> None:
-        """Admit one request to the tail of the queue."""
-        self._pending.append(request)
+        """Admit one request to the tail of its priority class's queue."""
+        priority = getattr(request, "priority", DEFAULT_PRIORITY)
+        queue = self._pending.get(priority)
+        if queue is None:
+            raise ValueError(
+                f"unknown priority class {priority!r}; expected one of "
+                f"{PRIORITY_CLASSES}")
+        queue.append(request)
+
+    def pending_by_class(self) -> Dict[str, int]:
+        """Live queue depth per priority class (the accounting view)."""
+        return {name: len(queue) for name, queue in self._pending.items()}
 
     def size_ready(self) -> bool:
         """Whether the size trigger alone makes a flush due."""
-        return len(self._pending) >= self.max_batch_size
+        return len(self) >= self.max_batch_size
 
     def next_deadline(self) -> Optional[float]:
         """Absolute time the oldest pending request must flush by.
 
-        ``None`` when the queue is empty.  Computed from the *current*
-        adaptive linger, so the deadline a caller sleeps toward tightens
-        and relaxes with the traffic.
+        ``None`` when the queue is empty.  Computed over the oldest
+        request of *any* class — the linger guarantee is priority-blind,
+        only batch composition under backlog is weighted — from the
+        *current* adaptive linger, so the deadline a caller sleeps toward
+        tightens and relaxes with the traffic.
         """
-        if not self._pending:
+        oldest = self._oldest_enqueued()
+        if oldest is None:
             return None
-        return self._pending[0].enqueued_at + self.linger
+        return oldest + self.linger
+
+    def _oldest_enqueued(self) -> Optional[float]:
+        heads = [queue[0].enqueued_at
+                 for queue in self._pending.values() if queue]
+        return min(heads) if heads else None
 
     def due(self, now: Optional[float] = None) -> bool:
         """Whether a flush is due at ``now`` (size or deadline trigger)."""
-        if not self._pending:
+        if not len(self):
             return False
         if self.size_ready():
             return True
@@ -119,24 +164,49 @@ class MicroBatcher:
             now = self.clock()
         return now >= self.next_deadline()
 
+    def _take_next(self) -> QueuedRequest:
+        """Pop one request by smooth weighted round-robin across classes.
+
+        Each pick adds every non-empty class's weight to its credit,
+        takes the class with the most credit, and charges it the total —
+        so over a sustained backlog the drained mix converges to the
+        weight ratios, while a lone class degenerates to plain FIFO.
+        Within a class order is strictly FIFO.
+        """
+        active = [name for name in PRIORITY_CLASSES if self._pending[name]]
+        if len(active) == 1:
+            return self._pending[active[0]].popleft()
+        total = sum(self._weights[name] for name in active)
+        for name in active:
+            self._credits[name] += self._weights[name]
+        best = max(active, key=lambda name: self._credits[name])
+        self._credits[best] -= total
+        return self._pending[best].popleft()
+
     def drain(self, now: Optional[float] = None,
               force: bool = False) -> List[QueuedRequest]:
         """Pop the next batch if one is due (or ``force``), else ``[]``.
 
-        At most ``max_batch_size`` requests come out per call, oldest
-        first; a forced drain (service shutdown) flushes without waiting
-        for a trigger and without distorting the adaptation.
+        At most ``max_batch_size`` requests come out per call.  When the
+        whole backlog fits in one batch the drain is exhaustive and order
+        inside the batch is irrelevant (one engine call serves them all);
+        when it does not, the weighted round-robin of :meth:`_take_next`
+        decides *which* requests ride the next batch — that is where the
+        priority classes earn their latency separation.  A forced drain
+        (service shutdown) flushes without waiting for a trigger and
+        without distorting the adaptation.
         """
         if now is None:
             now = self.clock()
-        if not self._pending:
+        pending = len(self)
+        if not pending:
             return []
         due = self.due(now)
         if not due and not force:
             return []
         size_triggered = self.size_ready()
-        batch = [self._pending.popleft()
-                 for _ in range(min(self.max_batch_size, len(self._pending)))]
+        batch = [self._take_next()
+                 for _ in range(min(self.max_batch_size, pending))]
         if due:
             self._adapt(size_triggered, len(batch))
         return batch

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ReproError
 
 
@@ -17,8 +19,18 @@ class ServiceOverloadedError(ServeError):
     """Admission control rejected the request: the queue hit its high-water mark.
 
     Backpressure by rejection — the caller learns immediately instead of
-    queueing behind a backlog it can never clear.
+    queueing behind a backlog it can never clear.  ``retry_after`` is the
+    rejecting layer's estimate (seconds) of when the backlog will have
+    drained enough to admit again, computed from the live queue depth and
+    the observed drain rate; the HTTP tier surfaces it as a principled
+    ``Retry-After`` header instead of a constant.  ``None`` when the
+    rejecting layer has no drain evidence to estimate from.
     """
+
+    def __init__(self, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class RequestTimeoutError(ServeError):

@@ -47,7 +47,12 @@ from repro.errors import (
 from repro.fault.deadline import Deadline
 from repro.obs.metrics import MetricsRegistry, merged_snapshot
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.serve.batcher import MicroBatcher, QueuedRequest
+from repro.serve.batcher import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    MicroBatcher,
+    QueuedRequest,
+)
 from repro.serve.config import ServiceConfig
 from repro.serve.errors import (
     RequestTimeoutError,
@@ -139,6 +144,18 @@ class QueryService:
             params = {}
         self._engine_takes_span = "parent_span" in params
         self._engine_takes_deadline = "deadline" in params
+        self._engine_takes_partial = "allow_partial" in params
+        # Whether the engine's single-query execute can stream verified
+        # top-k prefixes (the unsharded Executor can; scatter engines and
+        # duck-typed fakes fall back to a single final frame).
+        execute = getattr(engine, "execute", None)
+        self._engine_execute = execute
+        try:
+            execute_params = (inspect.signature(execute).parameters
+                              if execute is not None else {})
+        except (TypeError, ValueError):
+            execute_params = {}
+        self._engine_takes_progress = "on_progress" in execute_params
         self.batcher = MicroBatcher(self.config.max_batch_size,
                                     self.config.max_linger,
                                     self.config.min_linger,
@@ -257,13 +274,34 @@ class QueryService:
     # ------------------------------------------------------------------
     # admission / submission
     # ------------------------------------------------------------------
-    def _admit(self, query, timeout=None) -> QueuedRequest:
+    def retry_after_hint(self) -> Optional[float]:
+        """Estimated seconds until the queue drains below the high-water mark.
+
+        ``queue depth / observed drain rate``, clamped to a sane band;
+        ``None`` until the service has completed anything (no drain
+        evidence to extrapolate from).  Attached to every
+        :class:`ServiceOverloadedError` this service raises so the HTTP
+        tier's 503 can carry a principled ``Retry-After``.
+        """
+        rate = self.stats.drain_rate()
+        if rate <= 0.0:
+            return None
+        return min(max(len(self.batcher) / rate, 0.05), 60.0)
+
+    def _admit(self, query, timeout=None,
+               priority: str = DEFAULT_PRIORITY,
+               allow_partial: Optional[bool] = None) -> QueuedRequest:
         self._require_running()
+        if priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"unknown priority class {priority!r}; expected one of "
+                f"{PRIORITY_CLASSES}")
         if len(self.batcher) >= self.config.max_pending:
             self.stats.record_rejection()
             raise ServiceOverloadedError(
                 f"request queue at its high-water mark "
-                f"({self.config.max_pending} pending); retry later")
+                f"({self.config.max_pending} pending); retry later",
+                retry_after=self.retry_after_hint())
         # The submit timeout becomes an absolute deadline at admission —
         # from here on, queue wait, batching linger, and engine legs all
         # draw down the same clock the client is waiting on.
@@ -272,13 +310,17 @@ class QueryService:
         request = QueuedRequest(query=query,
                                 future=self._loop.create_future(),
                                 enqueued_at=self._clock(),
-                                deadline=deadline)
+                                deadline=deadline,
+                                priority=priority,
+                                allow_partial=allow_partial)
         self.batcher.append(request)
-        self.stats.record_admission()
+        self.stats.record_admission(priority)
         self._wake.set()
         return request
 
-    async def submit(self, query, *, timeout=_UNSET):
+    async def submit(self, query, *, timeout=_UNSET,
+                     priority: str = DEFAULT_PRIORITY,
+                     allow_partial: Optional[bool] = None):
         """Admit one query; resolve with its engine result.
 
         ``timeout`` (seconds) overrides the config's ``default_timeout``
@@ -293,10 +335,18 @@ class QueryService:
         shards and process workers' pipe waits are bounded by it, so a
         hung worker cannot keep burning engine capacity long after every
         client stopped waiting.
+
+        ``priority`` picks the admission class (one of
+        ``interactive``/``batch``/``background``): under backlog the
+        batcher's weighted drain decides which classes ride the next
+        micro-batch.  ``allow_partial=True`` opts in to a degraded answer
+        over surviving shards (flagged ``degraded`` in ``extra``) when
+        the engine supports it; the opt-in reaches the engine only for
+        batches whose every live member opted in.
         """
         if timeout is _UNSET:
             timeout = self.config.default_timeout
-        request = self._admit(query, timeout)
+        request = self._admit(query, timeout, priority, allow_partial)
         return await self._await_request(request, timeout)
 
     async def _await_request(self, request: QueuedRequest, timeout):
@@ -323,20 +373,24 @@ class QueryService:
             request.future.cancel()
             raise
 
-    async def submit_many(self, queries: Iterable, *, timeout=_UNSET) -> List:
+    async def submit_many(self, queries: Iterable, *, timeout=_UNSET,
+                          priority: str = DEFAULT_PRIORITY,
+                          allow_partial: Optional[bool] = None) -> List:
         """Fan one client's batch into the shared queue; gather in order.
 
         Admission is all-or-nothing: if the queue's high-water mark cuts
         the batch short, the already-admitted requests are abandoned and
         the admission error propagates.  ``timeout`` spans the whole
-        batch.
+        batch; ``priority`` and ``allow_partial`` apply to every member
+        (see :meth:`submit`).
         """
         if timeout is _UNSET:
             timeout = self.config.default_timeout
         requests: List[QueuedRequest] = []
         try:
             for query in queries:
-                requests.append(self._admit(query, timeout))
+                requests.append(
+                    self._admit(query, timeout, priority, allow_partial))
         except ServeError:
             for request in requests:
                 request.future.cancel()
@@ -364,6 +418,97 @@ class QueryService:
                 if not request.future.done():
                     request.future.cancel()
             raise
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    async def submit_stream(self, query, *, timeout=_UNSET,
+                            priority: str = DEFAULT_PRIORITY):
+        """Execute one query, yielding verified top-k prefixes as frames.
+
+        An async generator of ``("prefix", start_rank, pairs)`` frames —
+        each carrying newly *verified* ``(tid, score)`` entries, i.e.
+        ranks that provably cannot change no matter what the rest of the
+        sweep finds — followed by one ``("final", result)`` frame whose
+        result is bit-identical to a non-streaming :meth:`submit` answer
+        for the same query.
+
+        Streaming bypasses the micro-batcher (a stream cannot share a
+        fused sweep) but honors everything else the dispatch path does:
+        the engine concurrency semaphore, the writer gate, engine-error
+        mapping, the submit timeout, and the service stats.  Engines
+        whose ``execute`` cannot stream (scatter engines, duck-typed
+        fakes) and result-cache hits produce a single final frame, which
+        still satisfies the bit-identical contract.
+        """
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout
+        self._require_running()
+        if priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"unknown priority class {priority!r}; expected one of "
+                f"{PRIORITY_CLASSES}")
+        if self._engine_execute is None:
+            raise ServeError("this engine has no single-query execute; "
+                             "streaming is unavailable")
+        self.stats.record_admission(priority)
+        started = self._clock()
+        frames: asyncio.Queue = asyncio.Queue()
+        loop = self._loop
+
+        def on_progress(start: int, pairs) -> None:
+            # Called on the engine's worker thread mid-sweep.
+            loop.call_soon_threadsafe(
+                frames.put_nowait, ("prefix", start, list(pairs)))
+
+        def run_engine():
+            if self._engine_takes_progress:
+                return self._engine_execute(query, on_progress=on_progress)
+            return self._engine_execute(query)
+
+        async def produce() -> None:
+            async with self._engine_sem:
+                await self._engine_enter()
+                try:
+                    result = await self._in_executor(run_engine)
+                    frames.put_nowait(("final", result))
+                except Exception as exc:
+                    frames.put_nowait(("error", self._map_engine_error(exc)))
+                finally:
+                    self._engine_exit()
+
+        task = loop.create_task(produce())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        while True:
+            if timeout is None:
+                frame = await frames.get()
+            else:
+                remaining = float(timeout) - (self._clock() - started)
+                try:
+                    frame = await asyncio.wait_for(frames.get(),
+                                                   max(remaining, 0.0))
+                except asyncio.TimeoutError:
+                    self.stats.record_timeout()
+                    raise RequestTimeoutError(
+                        f"stream timed out after {float(timeout):.4g}s"
+                    ) from None
+            kind = frame[0]
+            if kind == "prefix":
+                yield frame
+            elif kind == "error":
+                self.stats.record_failure()
+                raise frame[1]
+            else:
+                result = frame[1]
+                now = self._clock()
+                result.extra.setdefault("queue_wait", 0.0)
+                result.extra.setdefault("batch_size", 1.0)
+                result.extra.setdefault("fused_group_size", 1.0)
+                result.extra["streamed"] = 1.0
+                self.stats.record_completion(0.0, now - started, priority)
+                yield frame
+                return
 
     # ------------------------------------------------------------------
     # drain loop / dispatch
@@ -427,6 +572,13 @@ class QueryService:
                 engine_call = functools.partial(
                     engine_call,
                     deadline=max(deadlines, key=lambda d: d.at))
+        if self._engine_takes_partial:
+            # Same unanimity rule as the deadline: degrading is opted
+            # into per batch, and a member that did not ask for a partial
+            # answer must never receive one.
+            if live and all(request.allow_partial for request in live):
+                engine_call = functools.partial(engine_call,
+                                                allow_partial=True)
         async with self._engine_sem:
             await self._engine_enter()
             acquired: List[asyncio.Semaphore] = []
@@ -495,7 +647,8 @@ class QueryService:
             if not request.future.done():
                 request.future.set_result(result)
                 self.stats.record_completion(queue_wait,
-                                             now - request.enqueued_at)
+                                             now - request.enqueued_at,
+                                             request.priority)
             elif request.future.cancelled() and not request.timed_out:
                 # Abandoned while the batch was already executing: the
                 # result is discarded, but the cancellation still counts.
@@ -651,6 +804,8 @@ class QueryService:
         snap = self.stats.snapshot(self.engine.cache_stats(),
                                    fused_baseline=self._fused_baseline)
         snap["pending"] = float(len(self.batcher))
+        for name, depth in self.batcher.pending_by_class().items():
+            snap[f"pending_{name}"] = float(depth)
         snap["current_linger"] = float(self.batcher.linger)
         return snap
 
@@ -671,6 +826,8 @@ class QueryService:
             if self.metrics is not getattr(self.engine, "metrics", None):
                 snap.update(self.metrics.snapshot())
         snap["serve.pending"] = float(len(self.batcher))
+        for name, depth in self.batcher.pending_by_class().items():
+            snap[f"serve.pending.{name}"] = float(depth)
         snap["serve.current_linger"] = float(self.batcher.linger)
         return snap
 

@@ -51,6 +51,12 @@ class ServiceStats:
                                                window=window)
         self._queue_wait = self.metrics.histogram(
             "serve.queue_wait_seconds", window=window)
+        self._window = window
+        # Per-priority-class instruments, created lazily on first use so
+        # a service that never sees a class never publishes it.
+        self._class_submitted: Dict[str, object] = {}
+        self._class_completed: Dict[str, object] = {}
+        self._class_queue_wait: Dict[str, object] = {}
 
     # -- int views of the counters (the pre-registry surface) ----------
     @property
@@ -88,8 +94,14 @@ class ServiceStats:
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def record_admission(self) -> None:
+    def record_admission(self, priority: Optional[str] = None) -> None:
         self._submitted.inc()
+        if priority is not None:
+            counter = self._class_submitted.get(priority)
+            if counter is None:
+                counter = self.metrics.counter(f"serve.submitted.{priority}")
+                self._class_submitted[priority] = counter
+            counter.inc()
 
     def record_rejection(self) -> None:
         self._rejected.inc()
@@ -108,11 +120,35 @@ class ServiceStats:
         self._batches.inc()
         self._batched_requests.inc(float(size))
 
-    def record_completion(self, queue_wait: float, latency: float) -> None:
+    def record_completion(self, queue_wait: float, latency: float,
+                          priority: Optional[str] = None) -> None:
         """One request resolved with a result."""
         self._completed.inc()
         self._queue_wait.observe(queue_wait)
         self._latency.observe(latency)
+        if priority is not None:
+            counter = self._class_completed.get(priority)
+            if counter is None:
+                counter = self.metrics.counter(f"serve.completed.{priority}")
+                self._class_completed[priority] = counter
+            counter.inc()
+            wait = self._class_queue_wait.get(priority)
+            if wait is None:
+                wait = self.metrics.histogram(
+                    f"serve.queue_wait_seconds.{priority}",
+                    window=self._window)
+                self._class_queue_wait[priority] = wait
+            wait.observe(queue_wait)
+
+    def drain_rate(self) -> float:
+        """Completions per second since construction (0.0 before any).
+
+        The denominator admission control needs for its ``retry_after``
+        hint: ``queue depth / drain rate`` estimates how long a rejected
+        caller should back off before the backlog has drained.
+        """
+        elapsed = max(self._clock() - self._started, 1e-9)
+        return self.completed / elapsed
 
     # ------------------------------------------------------------------
     # snapshot
@@ -131,12 +167,6 @@ class ServiceStats:
         is the engine's ``fused_queries`` before the service attached, so
         fusion the service did not cause (warm-ups, direct engine use) is
         excluded from the rate.
-
-        Keys the engine marks deprecated (``engine_stats.deprecated_keys``
-        — the scatter layer's pre-namespacing bare aliases) are dropped
-        from the merged view: the snapshot speaks only the canonical
-        ``shard_*`` dialect, and copying the aliases would hand the
-        deprecation problem to every snapshot consumer.
         """
         elapsed = max(self._clock() - self._started, 1e-9)
         latencies = self._latency.values()
@@ -162,10 +192,8 @@ class ServiceStats:
             "queue_wait_p99": percentile(waits, 99),
         }
         if engine_stats is not None:
-            deprecated = getattr(engine_stats, "deprecated_keys", ())
             snap.update({name: float(value)
-                         for name, value in engine_stats.items()
-                         if name not in deprecated})
+                         for name, value in engine_stats.items()})
             fused = max(0.0, float(engine_stats.get("fused_queries", 0.0))
                         - fused_baseline)
             snap["fusion_rate"] = (fused / batched if batched else 0.0)

@@ -49,7 +49,6 @@ import multiprocessing
 import random
 import threading
 import time
-import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
@@ -132,45 +131,6 @@ class _FaultContext:
         self.deadline = deadline
         self.allow_partial = bool(allow_partial)
         self.budget = policy.new_budget() if policy is not None else None
-
-
-class DeprecatedAliasStats(dict):
-    """A stats mapping whose legacy bare keys warn on access.
-
-    The scatter layer's merged :meth:`ScatterGatherExecutor.cache_stats`
-    renamed its per-shard keys to a uniform ``shard_*`` prefix one
-    release ago and kept the historical bare spellings as aliases.  The
-    aliases used to be silently deprecated — documented but emitting
-    nothing — so callers never noticed.  Reading one through
-    ``stats["entries"]`` / ``stats.get("entries")`` now raises a
-    :class:`DeprecationWarning` naming the canonical key; iteration
-    (``items()``/``keys()``) stays silent so merge/snapshot plumbing that
-    copies the whole mapping does not spam warnings.  The alias set is
-    exposed as :attr:`deprecated_keys` so such plumbing can drop the
-    aliases from derived views (``ServiceStats.snapshot`` does).
-    """
-
-    def __init__(self, data: Mapping[str, float],
-                 deprecated: Mapping[str, str]) -> None:
-        super().__init__(data)
-        #: ``{bare alias: canonical key}`` — keys that warn on access.
-        self.deprecated_keys: Dict[str, str] = dict(deprecated)
-
-    def _warn(self, key) -> None:
-        canonical = self.deprecated_keys.get(key)
-        if canonical is not None:
-            warnings.warn(
-                f"cache_stats() key {key!r} is deprecated; read the "
-                f"canonical {canonical!r} instead",
-                DeprecationWarning, stacklevel=3)
-
-    def __getitem__(self, key):
-        self._warn(key)
-        return super().__getitem__(key)
-
-    def get(self, key, default=None):
-        self._warn(key)
-        return super().get(key, default)
 
 
 class ScatterGatherExecutor:
@@ -1351,14 +1311,6 @@ class ScatterGatherExecutor:
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
-    #: Uniformly ``shard_``-prefixed keys whose un-prefixed spellings are
-    #: kept as deprecated aliases (see :meth:`cache_stats`).
-    _DEPRECATED_ALIASES = {"entries": "shard_bound_entries",
-                           "hits": "shard_bound_hits",
-                           "misses": "shard_bound_misses",
-                           "hit_rate": "shard_bound_hit_rate",
-                           "plans_reused": "shard_plans_reused"}
-
     def cache_stats(self) -> Dict[str, float]:
         """One merged statistics view of the whole sharded stack.
 
@@ -1383,13 +1335,10 @@ class ScatterGatherExecutor:
           built stacks the statistics always pruned are absent from every
           sum above).
 
-        .. deprecated::
-            The historically bare merged keys — ``entries`` / ``hits`` /
-            ``misses`` / ``hit_rate`` / ``plans_reused`` — are still
-            emitted as aliases of their ``shard_bound_*`` /
-            ``shard_plans_reused`` spellings for one release; reading one
-            through ``[]``/``get`` raises a :class:`DeprecationWarning`
-            (see :class:`DeprecatedAliasStats`); read the prefixed names.
+        The historically bare merged keys — ``entries`` / ``hits`` /
+        ``misses`` / ``hit_rate`` / ``plans_reused`` — warned as
+        deprecated aliases for three releases and are now gone; only the
+        prefixed spellings are emitted.
         """
         stats: Dict[str, float] = OrderedDict(self.result_cache.stats())
         summed = ("entries", "hits", "misses", "plans_reused")
@@ -1419,11 +1368,7 @@ class ScatterGatherExecutor:
         stats["fused_queries"] = float(self.fused_queries)
         stats.update(shard_totals)
         stats["shards_built"] = float(len(built))
-        # Deprecated aliases (one release): the pre-namespacing bare keys,
-        # wrapped so reading one warns (iteration stays silent).
-        for bare, prefixed in self._DEPRECATED_ALIASES.items():
-            stats[bare] = stats[prefixed]
-        return DeprecatedAliasStats(stats, self._DEPRECATED_ALIASES)
+        return stats
 
     def _metric_registries(self) -> List[MetricsRegistry]:
         """Every registry :meth:`metrics_snapshot` merges — overridable.
@@ -1445,14 +1390,10 @@ class ScatterGatherExecutor:
         Merges this front door's ``shard.*`` registry with every built
         shard engine's ``engine.*`` registry (counters summed, histogram
         reservoirs pooled — see :func:`repro.obs.merged_snapshot`), then
-        folds :meth:`cache_stats` in under the ``shard.`` prefix.  The
-        deprecated bare aliases are left out of the fold — the snapshot
-        speaks only the namespaced dialect.
+        folds :meth:`cache_stats` in under the ``shard.`` prefix.
         """
         snap = merged_snapshot(self._metric_registries())
         for name, value in self.cache_stats().items():
-            if name in self._DEPRECATED_ALIASES:
-                continue
             snap[f"shard.{name}"] = float(value)
         return snap
 
@@ -1724,8 +1665,6 @@ class ProcessScatterExecutor(ScatterGatherExecutor):
         stats["shard_bound_hit_rate"] = (stats["shard_bound_hits"] / lookups
                                          if lookups else 0.0)
         stats["shard_workers"] = float(live)
-        for bare, prefixed in self._DEPRECATED_ALIASES.items():
-            stats[bare] = stats[prefixed]
         return stats
 
     def _metric_registries(self) -> List[MetricsRegistry]:

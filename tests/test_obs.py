@@ -4,7 +4,7 @@ Covers the metrics registry (instruments, snapshots, Prometheus text,
 multi-registry merging), the tracer (span trees, ring buffer, slow-query
 log, and the zero-allocation no-op fast path), ``explain_analyze`` on
 both executor front doors and the serving layer, the per-backend cost
-feedback counters, and the deprecated ``cache_stats`` aliases.
+feedback counters, and the post-deprecation ``cache_stats`` key surface.
 """
 
 from __future__ import annotations
@@ -406,34 +406,25 @@ class TestExplainAnalyzeSharded:
 
 
 class TestCacheStatsAliases:
-    def test_deprecated_aliases_mirror_namespaced_keys_and_warn(self):
+    def test_bare_aliases_are_gone_after_the_deprecation_cycle(self):
+        # The PR 7 deprecation cycle is over: the merged scatter view
+        # speaks only the shard_*-prefixed dialect, reads never warn.
         _, engine = stratified_engine()
         engine.execute(TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5))
         stats = engine.cache_stats()
-        for alias, canonical in (("entries", "shard_bound_entries"),
-                                 ("hits", "shard_bound_hits"),
-                                 ("misses", "shard_bound_misses"),
-                                 ("hit_rate", "shard_bound_hit_rate"),
-                                 ("plans_reused", "shard_plans_reused")):
+        for canonical in ("shard_bound_entries", "shard_bound_hits",
+                          "shard_bound_misses", "shard_bound_hit_rate",
+                          "shard_plans_reused"):
             assert canonical in stats
-            # Reading through the alias works for one release, but warns.
-            with pytest.warns(DeprecationWarning, match=canonical):
-                value = stats[alias]
-            assert value == stats[canonical], alias
-            with pytest.warns(DeprecationWarning, match=canonical):
-                assert stats.get(alias) == value
-
-    def test_canonical_keys_and_iteration_stay_silent(self):
-        _, engine = stratified_engine()
-        engine.execute(TopKQuery(Predicate.of(), sum_function(["X", "Y"]), 5))
-        stats = engine.cache_stats()
+        for bare in ("entries", "hits", "misses", "hit_rate",
+                     "plans_reused"):
+            assert bare not in stats
+        assert not hasattr(stats, "deprecated_keys")
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             _ = stats["shard_bound_hits"]
             _ = stats.get("shard_bound_hit_rate")
-            dict(stats.items())  # snapshot plumbing copies silently
-        assert set(stats.deprecated_keys) == {
-            "entries", "hits", "misses", "hit_rate", "plans_reused"}
+            dict(stats.items())
 
 
 class TestServedExplainAnalyze:
